@@ -1,0 +1,57 @@
+"""Ablation C: communication chunk-size sensitivity.
+
+The paper fixes chunks at 10,000 tuples.  Smaller chunks pay more
+per-message overhead (latency + per-message CPU); much larger chunks delay
+routing-table reactions and inflate the pending buffers a full node must
+forward.  This bench quantifies the insensitivity band around the paper's
+choice.
+"""
+
+from conftest import run_figure
+
+from repro.analysis import FigureReport
+from repro.config import Algorithm, RunConfig, WorkloadSpec
+from repro.core import run_join
+
+
+def _run(chunk_tuples):
+    wl = WorkloadSpec(chunk_tuples=chunk_tuples)
+    return run_join(
+        RunConfig(algorithm=Algorithm.HYBRID, initial_nodes=4, workload=wl,
+                  trace=False),
+        validate=False,
+    )
+
+
+def _build_report():
+    rep = FigureReport(
+        "Ablation C", "Chunk-size sensitivity (hybrid, 4 initial nodes)",
+        ["chunk tuples (paper units)", "total (paper s)",
+         "extra build chunks", "data messages"],
+    )
+    sizes = (2_000, 10_000, 50_000)
+    runs = {}
+    for c in sizes:
+        res = _run(c)
+        runs[c] = res
+        rep.rows.append([
+            c,
+            res.paper_scale_total_s,
+            res.extra_build_chunks(),
+            sum(res.comm.chunks_by_hop.values()),
+        ])
+    rep.check(
+        "totals vary by less than 35% across a 25x chunk-size range",
+        max(r.total_s for r in runs.values())
+        < 1.35 * min(r.total_s for r in runs.values()),
+    )
+    rep.check(
+        "message count shrinks as chunks grow",
+        sum(runs[2_000].comm.chunks_by_hop.values())
+        > sum(runs[50_000].comm.chunks_by_hop.values()),
+    )
+    return rep
+
+
+def test_ablation_chunk_size(benchmark, report_sink):
+    run_figure(benchmark, report_sink, _build_report)

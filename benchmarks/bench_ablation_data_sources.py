@@ -1,0 +1,58 @@
+"""Ablation D: number of data sources.
+
+The paper leaves the source count unstated; our calibration (DESIGN.md)
+uses 4.  The source NICs bound the aggregate injection rate, which decides
+how much the replication-based algorithm's probe broadcast hurts — this
+bench makes that dependence explicit.
+"""
+
+from conftest import run_figure
+
+from repro.analysis import FigureReport
+from repro.config import Algorithm, ClusterSpec, RunConfig, WorkloadSpec
+from repro.core import run_join
+
+
+def _run(algorithm, n_sources):
+    return run_join(
+        RunConfig(algorithm=algorithm, initial_nodes=1,
+                  workload=WorkloadSpec(),
+                  cluster=ClusterSpec(n_sources=n_sources),
+                  trace=False),
+        validate=False,
+    )
+
+
+def _build_report():
+    rep = FigureReport(
+        "Ablation D", "Source-count sensitivity (1 initial node)",
+        ["sources", "replicated total (paper s)", "split total (paper s)",
+         "replicated probe share"],
+    )
+    runs = {}
+    for n in (2, 4, 8):
+        repl = _run(Algorithm.REPLICATE, n)
+        split = _run(Algorithm.SPLIT, n)
+        runs[n] = (repl, split)
+        rep.rows.append([
+            n,
+            repl.paper_scale_total_s,
+            split.paper_scale_total_s,
+            repl.times.probe_s / repl.total_s,
+        ])
+    rep.check(
+        "replication's broadcast-bound probe speeds up with more source "
+        "NICs",
+        runs[2][0].times.probe_s > runs[4][0].times.probe_s
+        > runs[8][0].times.probe_s,
+    )
+    rep.check(
+        "split stays ahead of replication at 1 initial node regardless of "
+        "source count",
+        all(split.total_s < repl.total_s for repl, split in runs.values()),
+    )
+    return rep
+
+
+def test_ablation_data_sources(benchmark, report_sink):
+    run_figure(benchmark, report_sink, _build_report)

@@ -1,0 +1,64 @@
+"""Ablation B: order-preserving vs mixing hash under skew.
+
+The paper's skew results require value->position locality (contiguous
+"hash table ranges").  A mixing hash (SplitMix64) scatters the Gaussian
+hotspot uniformly over the table and the skew pathology disappears —
+which confirms the order-preserving reading of the paper's hash function
+and quantifies what a 2004 system would have gained from hash mixing.
+"""
+
+from conftest import run_figure
+
+from repro.analysis import FigureReport, load_balance
+from repro.config import Algorithm, Distribution, RunConfig, WorkloadSpec
+from repro.core import run_join
+
+
+def _run(algorithm, mix, sigma):
+    wl = WorkloadSpec(distribution=Distribution.GAUSSIAN, gauss_sigma=sigma)
+    return run_join(
+        RunConfig(algorithm=algorithm, initial_nodes=4, workload=wl,
+                  mix_hash=mix, trace=False),
+        validate=False,
+    )
+
+
+def _build_report():
+    rep = FigureReport(
+        "Ablation B", "Hash mixing vs order-preserving map under skew "
+        "(sigma = 0.0001)",
+        ["algorithm", "hash", "total (paper s)", "nodes", "load max/avg"],
+    )
+    runs = {}
+    for algorithm in (Algorithm.SPLIT, Algorithm.HYBRID):
+        for mix in (False, True):
+            res = _run(algorithm, mix, 0.0001)
+            runs[algorithm, mix] = res
+            rep.rows.append([
+                algorithm.value,
+                "mixed" if mix else "order-preserving",
+                res.paper_scale_total_s,
+                res.nodes_used,
+                load_balance(res).imbalance,
+            ])
+    rep.check(
+        "mixing removes split's skew penalty (>= 2x faster)",
+        runs[Algorithm.SPLIT, True].total_s
+        < 0.5 * runs[Algorithm.SPLIT, False].total_s,
+    )
+    rep.check(
+        "mixing balances split's load (max/avg < 1.5)",
+        load_balance(runs[Algorithm.SPLIT, True]).imbalance < 1.5,
+    )
+    rep.check(
+        "hybrid's reshuffle already tolerates the skew, so mixing changes "
+        "it far less than it changes split",
+        abs(runs[Algorithm.HYBRID, True].total_s
+            - runs[Algorithm.HYBRID, False].total_s)
+        < 0.35 * runs[Algorithm.HYBRID, False].total_s,
+    )
+    return rep
+
+
+def test_ablation_hash_mixing(benchmark, report_sink):
+    run_figure(benchmark, report_sink, _build_report)

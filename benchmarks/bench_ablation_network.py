@@ -1,0 +1,64 @@
+"""Ablation E: network-configuration sensitivity (the paper's future work).
+
+"As future work, we plan to investigate the effect of different network
+configurations ... on the relative performance of different EHJAs."
+This bench runs the 4-initial-node comparison on a 10 Mb/s hub-era
+network, the paper's 100 Mb/s switch, and a 1 Gb/s switch.
+"""
+
+from dataclasses import replace
+
+from conftest import run_figure
+
+from repro.analysis import FigureReport
+from repro.config import Algorithm, ClusterSpec, CostModel, RunConfig, WorkloadSpec
+from repro.core import run_join
+
+
+def _run(algorithm, bandwidth):
+    cost = replace(CostModel(), net_bandwidth=bandwidth)
+    return run_join(
+        RunConfig(algorithm=algorithm, initial_nodes=4,
+                  workload=WorkloadSpec(),
+                  cluster=ClusterSpec(cost=cost),
+                  trace=False),
+        validate=False,
+    )
+
+
+def _build_report():
+    rep = FigureReport(
+        "Ablation E", "Network bandwidth sensitivity (future work, "
+        "4 initial nodes)",
+        ["bandwidth", "Replicated", "Split", "Hybrid", "Out of Core"],
+    )
+    algorithms = (Algorithm.REPLICATE, Algorithm.SPLIT, Algorithm.HYBRID,
+                  Algorithm.OUT_OF_CORE)
+    runs = {}
+    for label, bw in (("10 Mb/s", 1.25e6), ("100 Mb/s", 12.5e6),
+                      ("1 Gb/s", 125e6)):
+        row = [label]
+        for a in algorithms:
+            res = _run(a, bw)
+            runs[a, label] = res
+            row.append(res.paper_scale_total_s)
+        rep.rows.append(row)
+    rep.check(
+        "every algorithm benefits monotonically from more bandwidth",
+        all(
+            runs[a, "10 Mb/s"].total_s > runs[a, "100 Mb/s"].total_s
+            > runs[a, "1 Gb/s"].total_s
+            for a in algorithms
+        ),
+    )
+    rep.check(
+        "on a gigabit network the disk-bound OOC baseline falls furthest "
+        "behind the EHJAs",
+        runs[Algorithm.OUT_OF_CORE, "1 Gb/s"].total_s
+        > 1.5 * runs[Algorithm.HYBRID, "1 Gb/s"].total_s,
+    )
+    return rep
+
+
+def test_ablation_network(benchmark, report_sink):
+    run_figure(benchmark, report_sink, _build_report)

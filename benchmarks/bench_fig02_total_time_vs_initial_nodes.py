@@ -1,0 +1,12 @@
+"""Reproduces the paper's Figure 2 (total time vs initial nodes).
+
+Run with: pytest benchmarks/ --benchmark-only -k fig02
+The bench regenerates the figure's series from fresh simulated runs and
+asserts the qualitative shape checks recorded in DESIGN.md §4.
+"""
+
+from conftest import run_figure
+
+
+def test_fig02_total_time_vs_initial_nodes(benchmark, harness, report_sink):
+    run_figure(benchmark, report_sink, harness.fig02)

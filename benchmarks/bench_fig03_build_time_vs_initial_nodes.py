@@ -1,0 +1,12 @@
+"""Reproduces the paper's Figure 3 (build time vs initial nodes).
+
+Run with: pytest benchmarks/ --benchmark-only -k fig03
+The bench regenerates the figure's series from fresh simulated runs and
+asserts the qualitative shape checks recorded in DESIGN.md §4.
+"""
+
+from conftest import run_figure
+
+
+def test_fig03_build_time_vs_initial_nodes(benchmark, harness, report_sink):
+    run_figure(benchmark, report_sink, harness.fig03)

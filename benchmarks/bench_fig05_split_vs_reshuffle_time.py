@@ -1,0 +1,12 @@
+"""Reproduces the paper's Figure 5 (split vs reshuffle time).
+
+Run with: pytest benchmarks/ --benchmark-only -k fig05
+The bench regenerates the figure's series from fresh simulated runs and
+asserts the qualitative shape checks recorded in DESIGN.md §4.
+"""
+
+from conftest import run_figure
+
+
+def test_fig05_split_vs_reshuffle_time(benchmark, harness, report_sink):
+    run_figure(benchmark, report_sink, harness.fig05)

@@ -1,0 +1,12 @@
+"""Reproduces the paper's Figure 6 (table size scaling).
+
+Run with: pytest benchmarks/ --benchmark-only -k fig06
+The bench regenerates the figure's series from fresh simulated runs and
+asserts the qualitative shape checks recorded in DESIGN.md §4.
+"""
+
+from conftest import run_figure
+
+
+def test_fig06_table_size_scaling(benchmark, harness, report_sink):
+    run_figure(benchmark, report_sink, harness.fig06)

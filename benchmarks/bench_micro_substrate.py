@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the substrate hot paths (real wall-clock timing).
+
+Unlike the figure benches (which time simulated protocol runs), these
+measure the Python/NumPy implementation itself, guarding against
+performance regressions in the per-chunk code the simulator executes
+millions of times: position mapping, routing partitions, store probing,
+the greedy reshuffle cut, and raw event throughput of the DES kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import Algorithm, ClusterSpec, RunConfig, WorkloadSpec
+from repro.core import run_join
+from repro.hashing import (
+    NodeHashStore,
+    PositionMap,
+    RangeRouter,
+    greedy_contiguous_partition,
+    partition_positions,
+)
+from repro.sim import Simulator
+
+RNG = np.random.default_rng(42)
+VALUES = RNG.integers(0, 1 << 32, 100_000, dtype=np.uint64)
+POSMAP = PositionMap(1 << 18)
+POSITIONS = POSMAP(VALUES)
+
+
+def test_position_map_throughput(benchmark):
+    out = benchmark(POSMAP, VALUES)
+    assert out.size == VALUES.size
+
+
+def test_range_router_partition_throughput(benchmark):
+    router = RangeRouter.initial(
+        partition_positions(1 << 18, 16), list(range(16)), 1 << 18
+    )
+    parts = benchmark(router.partition_build, POSITIONS)
+    assert sum(v.size for v in parts.values()) == POSITIONS.size
+
+
+def test_store_probe_throughput(benchmark):
+    store = NodeHashStore(POSMAP)
+    store.insert(VALUES.copy())
+    store.finalize()
+    probe = RNG.integers(0, 1 << 32, 100_000, dtype=np.uint64)
+    count = benchmark(store.probe, probe)
+    assert count >= 0
+
+
+def test_greedy_cut_throughput(benchmark):
+    weights = RNG.integers(0, 1000, 1 << 16)
+    cuts = benchmark(greedy_contiguous_partition, weights, 24)
+    assert len(cuts) == 24
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw DES events/second: ping-pong between two processes."""
+
+    def run_kernel():
+        sim = Simulator()
+
+        def ping(sim, n):
+            for _ in range(n):
+                yield sim.timeout(0.001)
+
+        for _ in range(4):
+            sim.spawn(ping(sim, 2500))
+        sim.run()
+        return sim.processed_events
+
+    events = benchmark(run_kernel)
+    assert events >= 10_000
+
+
+def test_end_to_end_small_join(benchmark):
+    """Wall-clock cost of one complete small simulated join."""
+    cfg = RunConfig(
+        algorithm=Algorithm.HYBRID,
+        initial_nodes=2,
+        workload=WorkloadSpec(r_tuples=4000, s_tuples=4000,
+                              chunk_tuples=200, scale=1.0),
+        cluster=ClusterSpec(n_sources=2, n_potential_nodes=16,
+                            hash_memory_bytes=40_000),
+        hash_positions=1 << 12,
+        trace=False,
+    )
+    res = benchmark.pedantic(run_join, args=(cfg,),
+                             kwargs={"validate": False},
+                             rounds=3, iterations=1)
+    assert res.nodes_used > 2

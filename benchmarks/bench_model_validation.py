@@ -1,0 +1,9 @@
+"""Validates the paper's §4.2.4 analytic overhead model against measured
+split/reshuffle transfer volumes (capacity-granular form; see
+repro.analysis.costmodel)."""
+
+from conftest import run_figure
+
+
+def test_model_validation(benchmark, harness, report_sink):
+    run_figure(benchmark, report_sink, harness.model_validation)

@@ -1,0 +1,76 @@
+"""Validates the co-scaling rule DESIGN.md relies on.
+
+Running the same paper-units workload at two different scales must yield
+(nearly) the same *paper-scale* results: times within a few percent,
+identical expansion counts, proportional traffic.  This is the property
+that justifies benchmarking at scale 1/50 and reporting paper-scale
+seconds.
+"""
+
+from conftest import run_figure
+
+from repro.analysis import FigureReport
+from repro.config import Algorithm, RunConfig, WorkloadSpec
+from repro.core import run_join
+
+
+def _run(algorithm, scale):
+    wl = WorkloadSpec(scale=scale)
+    return run_join(
+        RunConfig(algorithm=algorithm, initial_nodes=4, workload=wl,
+                  trace=False),
+        validate=False,
+    )
+
+
+def _build_report():
+    rep = FigureReport(
+        "Scale invariance", "Paper-scale results at workload scale 1/50 "
+        "vs 1/25 (4 initial nodes)",
+        ["algorithm", "scale", "total (paper s)", "nodes",
+         "extra build chunks"],
+    )
+    runs = {}
+    for algorithm in (Algorithm.SPLIT, Algorithm.REPLICATE,
+                      Algorithm.HYBRID, Algorithm.OUT_OF_CORE):
+        for scale in (1 / 50, 1 / 25):
+            res = _run(algorithm, scale)
+            runs[algorithm, scale] = res
+            rep.rows.append([
+                algorithm.value, f"1/{round(1 / scale)}",
+                res.paper_scale_total_s, res.nodes_used,
+                res.extra_build_chunks(),
+            ])
+    rep.check(
+        "paper-scale totals agree across scales (within 10%)",
+        all(
+            abs(runs[a, 1 / 50].paper_scale_total_s
+                - runs[a, 1 / 25].paper_scale_total_s)
+            <= 0.10 * runs[a, 1 / 25].paper_scale_total_s
+            for a in (Algorithm.SPLIT, Algorithm.REPLICATE,
+                      Algorithm.HYBRID, Algorithm.OUT_OF_CORE)
+        ),
+    )
+    rep.check(
+        "the expansion reaches the same cluster size at both scales",
+        all(
+            runs[a, 1 / 50].nodes_used == runs[a, 1 / 25].nodes_used
+            for a in (Algorithm.SPLIT, Algorithm.REPLICATE,
+                      Algorithm.HYBRID)
+        ),
+    )
+    rep.check(
+        "extra communication (in chunk units) agrees across scales "
+        "(within 15%)",
+        all(
+            abs(runs[a, 1 / 50].extra_build_chunks()
+                - runs[a, 1 / 25].extra_build_chunks())
+            <= 0.15 * max(runs[a, 1 / 25].extra_build_chunks(), 1.0)
+            for a in (Algorithm.SPLIT, Algorithm.HYBRID)
+        ),
+    )
+    return rep
+
+
+def test_scale_invariance(benchmark, report_sink):
+    run_figure(benchmark, report_sink, _build_report)

@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+One session-scoped :class:`FigureHarness` backs all figure benches, so the
+expensive sweeps (initial-node sweep feeds Figures 2-5, the skew sweep
+feeds Figures 10-13, ...) run once.  Every bench asserts its figure's
+shape checks and the session writes all rendered reports to
+``benchmarks/out/figure_reports.md`` for EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import FigureHarness
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return FigureHarness()
+
+
+class _ReportSink:
+    def __init__(self) -> None:
+        self.reports = []
+
+    def add(self, report) -> None:
+        self.reports.append(report)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    sink = _ReportSink()
+    yield sink
+    if sink.reports:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / "figure_reports.md"
+        blocks = [r.to_markdown() for r in sink.reports]
+        path.write_text(
+            "# Reproduced figures (latest benchmark run)\n\n"
+            + "\n".join(blocks),
+            encoding="utf-8",
+        )
+
+
+def run_figure(benchmark, sink, fig_fn):
+    """Benchmark one figure regeneration and assert its shape checks."""
+    report = benchmark.pedantic(fig_fn, rounds=1, iterations=1)
+    sink.add(report)
+    assert report.all_passed, "\n" + report.render()
+    return report

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Multi-way join pipeline (the paper's future-work scenario).
+
+"We also plan to expand our work to multi-way join operations ...
+performance can be improved if results from joins at intermediate levels
+are maintained in memory."
+
+This example evaluates a two-level join (R JOIN S) JOIN T by running the
+levels as chained simulated joins: level 1 measures the intermediate
+result cardinality, level 2 consumes a relation of that size as its build
+side.  Two placements are compared:
+
+* spill placement — the intermediate result is written to disk by level 1
+  and re-read by level 2 (charged at the disk model's bucket-I/O rate);
+* in-memory placement — the intermediate stays in the level-1 nodes'
+  memory and streams straight into level 2 (the paper's suggestion).
+
+    python examples/multiway_pipeline.py
+"""
+
+from repro import Algorithm, ClusterSpec, CostModel, RunConfig, WorkloadSpec, run_join
+
+
+def run_level(r_tuples, s_tuples, seed):
+    wl = WorkloadSpec(r_tuples=r_tuples, s_tuples=s_tuples, seed=seed)
+    cfg = RunConfig(algorithm=Algorithm.HYBRID, initial_nodes=4, workload=wl)
+    return run_join(cfg, validate=False), wl
+
+
+def main() -> None:
+    cost = CostModel()
+    # Level 1: R (10M) JOIN S (10M) -> intermediate I
+    level1, wl1 = run_level(10_000_000, 10_000_000, seed=11)
+    inter_paper_tuples = max(
+        int(level1.matches / wl1.scale), 1_000_000
+    )  # scale the measured cardinality back to paper units (floor at 1M)
+    print(f"Level 1: R JOIN S -> {level1.matches} matches at scale "
+          f"{wl1.scale} (~{inter_paper_tuples:,} paper-scale tuples), "
+          f"took {level1.paper_scale_total_s:.1f} paper-s\n")
+
+    # Level 2: I JOIN T (T = 10M tuples)
+    level2, wl2 = run_level(inter_paper_tuples, 10_000_000, seed=23)
+    print(f"Level 2: I JOIN T took {level2.paper_scale_total_s:.1f} paper-s")
+
+    inter_bytes = inter_paper_tuples * wl2.tuple_bytes * wl2.scale
+    spill_cost_s = 2 * inter_bytes / cost.disk_bandwidth / wl2.scale
+    print(f"\nIntermediate-result placement for {inter_paper_tuples:,} "
+          f"tuples ({inter_bytes / wl2.scale / 1e9:.2f} GB paper-scale):")
+    pipeline = level1.paper_scale_total_s + level2.paper_scale_total_s
+    print(f"  in-memory (paper's proposal): {pipeline:8.1f} paper-s total")
+    print(f"  spill to disk between levels: {pipeline + spill_cost_s:8.1f} "
+          f"paper-s total (+{spill_cost_s:.1f} for the disk round trip)")
+    saving = spill_cost_s / (pipeline + spill_cost_s)
+    print(f"\nKeeping the intermediate in the expanded cluster's memory "
+          f"saves {saving:.0%} — the EHJAs make that possible precisely "
+          f"because they recruit memory on demand.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Skew study: which expansion strategy survives a hot join key range?
+
+Reproduces the decision logic behind the paper's Figures 10-13: sweep the
+Gaussian skew of the join attributes and report total time, extra
+communication and load balance per strategy, ending with the paper's
+strategy recommendation.
+
+    python examples/skew_study.py
+"""
+
+from repro import Algorithm, Distribution, RunConfig, WorkloadSpec, run_join
+from repro.analysis import load_balance
+
+SKEWS = [None, 0.01, 0.001, 0.0001]
+ALGS = [Algorithm.REPLICATE, Algorithm.SPLIT, Algorithm.HYBRID,
+        Algorithm.OUT_OF_CORE]
+
+
+def workload(sigma):
+    if sigma is None:
+        return WorkloadSpec()
+    return WorkloadSpec(distribution=Distribution.GAUSSIAN,
+                        gauss_sigma=sigma)
+
+
+def main() -> None:
+    print("Skew sweep: R=S=10M tuples, 4 initial join nodes\n")
+    header = f"{'sigma':>10} " + "".join(f"{a.value:>13}" for a in ALGS)
+    print(header + "   (total, paper-scale seconds)")
+    table = {}
+    for sigma in SKEWS:
+        row = []
+        for algorithm in ALGS:
+            res = run_join(RunConfig(algorithm=algorithm, initial_nodes=4,
+                                     workload=workload(sigma)))
+            table[algorithm, sigma] = res
+            row.append(res.paper_scale_total_s)
+        label = "uniform" if sigma is None else str(sigma)
+        print(f"{label:>10} " + "".join(f"{t:>13.1f}" for t in row))
+
+    print("\nLoad balance at sigma=0.0001 (stored+spilled tuples, chunks):")
+    for algorithm in ALGS[:3]:
+        lb = load_balance(table[algorithm, 0.0001])
+        print(f"  {algorithm.value:>10}: avg={lb.avg_chunks:6.1f} "
+              f"max={lb.max_chunks:6.1f} min={lb.min_chunks:6.1f} "
+              f"(max/avg={lb.imbalance:.1f})")
+
+    split_extra = table[Algorithm.SPLIT, 0.0001].extra_build_chunks()
+    print(f"\nSplit re-communication at sigma=0.0001: "
+          f"{split_extra:.0f} chunks (table R is 1000 chunks) — the "
+          f"paper's 'same tuple communicated many times' pathology.")
+    print("Recommendation (paper §6): prefer replication over split when "
+          "the data is highly skewed; the hybrid algorithm is the safe "
+          "default — its reshuffle step also repairs the load imbalance.")
+
+
+if __name__ == "__main__":
+    main()

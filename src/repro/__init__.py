@@ -1,0 +1,56 @@
+"""repro — reproduction of "Strategies for Using Additional Resources in
+Parallel Hash-based Join Algorithms" (Zhang et al., HPDC 2004).
+
+Quick start::
+
+    from repro import Algorithm, RunConfig, WorkloadSpec, run_join
+
+    cfg = RunConfig(
+        algorithm=Algorithm.HYBRID,
+        initial_nodes=4,
+        workload=WorkloadSpec(r_tuples=10_000_000, s_tuples=10_000_000),
+    )
+    result = run_join(cfg)
+    print(result.summary())
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.sim`      — discrete-event simulation kernel
+- :mod:`repro.cluster`  — simulated PC cluster (nodes, NICs, disks, memory)
+- :mod:`repro.data`     — synthetic relation streams (uniform / Gaussian / Zipf)
+- :mod:`repro.hashing`  — position maps, routers, linear hashing, reshuffle
+- :mod:`repro.seqjoin`  — sequential reference joins (correctness oracles)
+- :mod:`repro.core`     — the expanding hash-join algorithms + run driver
+- :mod:`repro.analysis` — §4.2.4 cost model, load-balance stats, reports
+- :mod:`repro.bench`    — figure-reproduction harness used by benchmarks/
+"""
+
+from .config import (
+    Algorithm,
+    ClusterSpec,
+    CostModel,
+    DEFAULT_SCALE,
+    Distribution,
+    MTUPLES,
+    RunConfig,
+    SplitPolicy,
+    WorkloadSpec,
+)
+from .core import JoinRunResult, run_join
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "ClusterSpec",
+    "CostModel",
+    "DEFAULT_SCALE",
+    "Distribution",
+    "JoinRunResult",
+    "MTUPLES",
+    "RunConfig",
+    "SplitPolicy",
+    "WorkloadSpec",
+    "run_join",
+    "__version__",
+]

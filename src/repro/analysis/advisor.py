@@ -1,0 +1,113 @@
+"""Strategy advisor: the paper's §6 conclusions as an executable policy.
+
+The paper closes with operational guidance:
+
+* "the replication-based algorithm should be preferred over the split-based
+  algorithm if the distribution of the join attribute values is highly
+  skewed and/or the larger relation has to be used to build the hash
+  table.  Otherwise, the split-based algorithm achieves better
+  performance."
+* "on the average, the hybrid algorithm generally performs close to the
+  better of the two or is the best algorithm."
+
+:func:`recommend_strategy` turns that — plus the §4.2.4 overhead
+crossover — into a concrete recommendation for a workload estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import Algorithm
+from .costmodel import OverheadModel
+
+__all__ = ["Recommendation", "recommend_strategy"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advised algorithm with its expected shape and rationale."""
+
+    algorithm: Algorithm
+    expected_expansion: float
+    reason: str
+
+    def __str__(self) -> str:
+        return (f"{self.algorithm.value} "
+                f"(expected expansion E~{self.expected_expansion:.1f}): "
+                f"{self.reason}")
+
+
+def recommend_strategy(
+    estimated_build_tuples: int,
+    node_capacity_tuples: int,
+    initial_nodes: int,
+    *,
+    estimate_error_factor: float = 2.0,
+    skewed: bool = False,
+    build_is_larger: bool = False,
+) -> Recommendation:
+    """Pick an expansion strategy for a join whose build size is uncertain.
+
+    ``estimate_error_factor`` is how far off (multiplicatively) the size
+    estimate might be — the paper's motivating scenario is exactly that
+    the estimate *cannot* be trusted.
+
+    Decision order (paper §6):
+
+    1. heavy skew  -> never split; hybrid repairs the imbalance too;
+    2. building from the larger relation -> replication (no build-phase
+       tuple movement; the probe broadcast multiplies only the small S);
+    3. otherwise compare the §4.2.4 overheads at the worst-case expansion:
+       below the crossover the split's probing simplicity wins, above it
+       the hybrid's one-shot reshuffle is cheaper.
+    """
+    if estimated_build_tuples < 1 or node_capacity_tuples < 1:
+        raise ValueError("sizes must be positive")
+    if initial_nodes < 1:
+        raise ValueError("initial_nodes must be >= 1")
+    if estimate_error_factor < 1.0:
+        raise ValueError("estimate_error_factor must be >= 1")
+
+    worst_tuples = estimated_build_tuples * estimate_error_factor
+    final_nodes = max(
+        initial_nodes, math.ceil(worst_tuples / node_capacity_tuples)
+    )
+    expansion = final_nodes / initial_nodes
+
+    if skewed:
+        return Recommendation(
+            Algorithm.HYBRID, expansion,
+            "skewed join attributes: splitting re-ships the hot range "
+            "repeatedly (Figs 10-13); the hybrid's reshuffle also repairs "
+            "the load imbalance",
+        )
+    if build_is_larger:
+        return Recommendation(
+            Algorithm.REPLICATE, expansion,
+            "building from the larger relation: replication moves no "
+            "stored tuples and the probe broadcast multiplies only the "
+            "small relation (Figs 8-9)",
+        )
+    if expansion <= 1.0:
+        return Recommendation(
+            Algorithm.SPLIT, expansion,
+            "the initial nodes already hold the worst-case table; with no "
+            "expansion every strategy degenerates to the same plan and "
+            "split's single-destination probing has no overhead to amortize",
+        )
+    model = OverheadModel(bucket_bytes=1.0, t_w=1.0)  # ratios only
+    if expansion <= model.crossover_expansion():
+        return Recommendation(
+            Algorithm.SPLIT, expansion,
+            f"expected expansion E~{expansion:.1f} is below the §4.2.4 "
+            "crossover: the (serialized) split transfers stay cheaper than "
+            "a full reshuffle",
+        )
+    return Recommendation(
+        Algorithm.HYBRID, expansion,
+        f"expected expansion E~{expansion:.1f} exceeds the §4.2.4 "
+        "crossover: reshuffling each tuple at most once beats the growing "
+        "split-transfer volume, and probing stays single-destination",
+    )

@@ -1,0 +1,6 @@
+"""Benchmark harness: figure-reproduction runners shared by benchmarks/,
+examples/ and the EXPERIMENTS.md generator."""
+
+from .figures import ALGORITHMS, EHJAS, FigureHarness
+
+__all__ = ["ALGORITHMS", "EHJAS", "FigureHarness"]

@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``run``     — one simulated join, printing the phase/traffic summary.
+* ``sweep``   — a grid of runs (algorithms x initial nodes), as a table.
+* ``figures`` — regenerate the paper's figures (or a subset) and print /
+  save the reproduction reports.
+
+Examples::
+
+    python -m repro run --algorithm hybrid --initial-nodes 4
+    python -m repro run --algorithm split --sigma 0.0001 --trace
+    python -m repro sweep --initial-nodes 1,2,4,8,16
+    python -m repro figures --only fig02 fig10 --out reports.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import format_table
+from .config import (
+    Algorithm,
+    ClusterSpec,
+    Distribution,
+    MTUPLES,
+    RunConfig,
+    SplitPolicy,
+    Topology,
+    WorkloadSpec,
+)
+from .core import run_join
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--r-tuples", type=float, default=10.0, metavar="M",
+                   help="build relation size in millions of tuples "
+                        "(paper units; default 10)")
+    p.add_argument("--s-tuples", type=float, default=10.0, metavar="M",
+                   help="probe relation size in millions of tuples")
+    p.add_argument("--tuple-bytes", type=int, default=100)
+    p.add_argument("--sigma", type=float, default=None,
+                   help="Gaussian skew (fraction of the value range); "
+                        "omit for uniform data")
+    p.add_argument("--zipf", type=float, default=None, metavar="S",
+                   help="Zipf exponent (> 1); overrides --sigma")
+    p.add_argument("--chunk-tuples", type=int, default=10_000)
+    p.add_argument("--scale", type=float, default=WorkloadSpec().scale,
+                   help="down-scaling factor (default 1/50); 1.0 = full size")
+    p.add_argument("--seed", type=int, default=WorkloadSpec().seed)
+
+
+def _add_cluster_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--initial-nodes", type=str, default="4",
+                   help="initial join nodes; a comma list sweeps (sweep "
+                        "command only)")
+    p.add_argument("--pool", type=int, default=24,
+                   help="potential join nodes (default 24)")
+    p.add_argument("--sources", type=int, default=4,
+                   help="data-source nodes (default 4)")
+    p.add_argument("--node-memory-mb", type=float, default=64.0,
+                   help="hash-table budget per node in MB (default 64)")
+    p.add_argument("--topology", default="switched",
+                   choices=[t.value for t in Topology],
+                   help="interconnect: switched ports or one shared hub")
+    p.add_argument("--sources-from-disk", action="store_true",
+                   help="sources read relations from disk instead of "
+                        "generating them")
+
+
+def _workload(args: argparse.Namespace) -> WorkloadSpec:
+    if args.zipf is not None:
+        dist, sigma = Distribution.ZIPF, 0.001
+    elif args.sigma is not None:
+        dist, sigma = Distribution.GAUSSIAN, args.sigma
+    else:
+        dist, sigma = Distribution.UNIFORM, 0.001
+    return WorkloadSpec(
+        r_tuples=int(args.r_tuples * MTUPLES),
+        s_tuples=int(args.s_tuples * MTUPLES),
+        tuple_bytes=args.tuple_bytes,
+        distribution=dist,
+        gauss_sigma=sigma,
+        zipf_s=args.zipf if args.zipf is not None else 1.1,
+        chunk_tuples=args.chunk_tuples,
+        scale=args.scale,
+        seed=args.seed,
+    )
+
+
+def _cluster(args: argparse.Namespace) -> ClusterSpec:
+    return ClusterSpec(
+        n_sources=args.sources,
+        n_potential_nodes=args.pool,
+        hash_memory_bytes=int(args.node_memory_mb * 1024 * 1024),
+        topology=Topology(args.topology),
+    )
+
+
+def _config(args: argparse.Namespace, algorithm: Algorithm,
+            initial_nodes: int) -> RunConfig:
+    return RunConfig(
+        algorithm=algorithm,
+        initial_nodes=initial_nodes,
+        workload=_workload(args),
+        cluster=_cluster(args),
+        split_policy=SplitPolicy(args.split_policy),
+        materialize_output=args.materialize_output,
+        probe_expansion=args.probe_expansion,
+        sources_from_disk=args.sources_from_disk,
+        trace=args.trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    algorithm = Algorithm(args.algorithm)
+    initial = int(args.initial_nodes.split(",")[0])
+    cfg = _config(args, algorithm, initial)
+    res = run_join(cfg, validate=not args.no_validate)
+    print(res.summary())
+    t = res.times
+    scale = cfg.workload.scale
+    print(f"\nphases (paper-scale s): build={t.build_s / scale:.1f} "
+          f"reshuffle={t.reshuffle_s / scale:.1f} "
+          f"probe={t.probe_s / scale:.1f} ooc={t.ooc_pass_s / scale:.1f} "
+          f"total={res.paper_scale_total_s:.1f}")
+    if args.trace:
+        print("\ntrace:")
+        print(res.tracer.format())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    algorithms = (
+        list(Algorithm) if args.algorithms == "all"
+        else [Algorithm(a) for a in args.algorithms.split(",")]
+    )
+    initials = [int(x) for x in args.initial_nodes.split(",")]
+    rows = []
+    for k in initials:
+        row: list[object] = [k]
+        for algorithm in algorithms:
+            cfg = _config(args, algorithm, k)
+            res = run_join(cfg, validate=not args.no_validate)
+            row.append(round(res.paper_scale_total_s, 1))
+        rows.append(row)
+    print(format_table(
+        ["initial nodes"] + [a.value for a in algorithms], rows
+    ))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .bench import FigureHarness
+
+    harness = FigureHarness(scale=args.scale, validate=not args.no_validate)
+    available = {
+        "fig02": harness.fig02, "fig03": harness.fig03,
+        "fig04": harness.fig04, "fig05": harness.fig05,
+        "fig06": harness.fig06, "fig07": harness.fig07,
+        "fig08": harness.fig08, "fig09": harness.fig09,
+        "fig10": harness.fig10, "fig11": harness.fig11,
+        "fig12": harness.fig12, "fig13": harness.fig13,
+        "model": harness.model_validation,
+    }
+    wanted = args.only or list(available)
+    unknown = [w for w in wanted if w not in available]
+    if unknown:
+        print(f"unknown figures: {unknown}; choose from "
+              f"{sorted(available)}", file=sys.stderr)
+        return 2
+    reports = []
+    for name in wanted:
+        report = available[name]()
+        reports.append(report)
+        print(report.render())
+        print()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(r.to_markdown() for r in reports))
+        print(f"wrote {args.out}")
+    if args.csv_dir:
+        import os
+
+        os.makedirs(args.csv_dir, exist_ok=True)
+        for name, report in zip(wanted, reports):
+            path = os.path.join(args.csv_dir, f"{name}.csv")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(report.to_csv())
+        print(f"wrote {len(reports)} csv files to {args.csv_dir}")
+    return 0 if all(r.all_passed for r in reports) else 1
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Expanding Hash-based Join Algorithms (HPDC 2004) — "
+                    "simulated reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    _add_workload_args(common)
+    _add_cluster_args(common)
+    common.add_argument("--split-policy", default="bisect",
+                        choices=[p.value for p in SplitPolicy])
+    common.add_argument("--materialize-output", action="store_true",
+                        help="keep join output pairs in node memory")
+    common.add_argument("--probe-expansion", action="store_true",
+                        help="recruit output-sink nodes on probe overflow "
+                             "(paper footnote 1)")
+    common.add_argument("--no-validate", action="store_true",
+                        help="skip the sequential-oracle check")
+    common.add_argument("--trace", action="store_true",
+                        help="collect and print the protocol trace")
+
+    p_run = sub.add_parser("run", parents=[common],
+                           help="run one simulated join")
+    p_run.add_argument("--algorithm", default="hybrid",
+                       choices=[a.value for a in Algorithm])
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", parents=[common],
+                             help="grid of runs: algorithms x initial nodes")
+    p_sweep.add_argument("--algorithms", default="all",
+                         help='comma list or "all"')
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    p_fig.add_argument("--only", nargs="*", metavar="figNN",
+                       help="subset, e.g. --only fig02 fig10")
+    p_fig.add_argument("--out", help="write markdown reports to this file")
+    p_fig.add_argument("--csv-dir", help="write one CSV per figure here")
+    p_fig.add_argument("--scale", type=float, default=WorkloadSpec().scale)
+    p_fig.add_argument("--no-validate", action="store_true")
+    p_fig.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

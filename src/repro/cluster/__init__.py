@@ -1,0 +1,21 @@
+"""Simulated-cluster substrate: nodes, network, memory, disk.
+
+Stands in for the paper's OSUMed testbed (24 Pentium-III nodes on switched
+100 Mb/s Ethernet).  See DESIGN.md §2 for the substitution argument.
+"""
+
+from .cluster import Cluster
+from .disk import Disk
+from .memory import MemoryAccount, MemoryFullError
+from .network import Network, Wireable
+from .node import Node
+
+__all__ = [
+    "Cluster",
+    "Disk",
+    "MemoryAccount",
+    "MemoryFullError",
+    "Network",
+    "Node",
+    "Wireable",
+]

@@ -1,0 +1,78 @@
+"""Cluster assembly: build all simulated nodes from a :class:`ClusterSpec`.
+
+Node layout mirrors the paper's system architecture (§4.1): one scheduler
+node, ``n_sources`` data-source nodes, and a pool of ``n_potential_nodes``
+join nodes of which ``initial_nodes`` are working at start and the rest are
+*potential* join nodes the scheduler may recruit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ClusterSpec
+from ..sim import Simulator
+from .network import Network
+from .node import Node
+
+__all__ = ["Cluster"]
+
+
+@dataclass
+class Cluster:
+    """All simulated machines plus the shared interconnect."""
+
+    sim: Simulator
+    spec: ClusterSpec
+    network: Network
+    scheduler_node: Node
+    source_nodes: list[Node]
+    join_nodes: list[Node] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, sim: Simulator, spec: ClusterSpec) -> "Cluster":
+        from ..config import Topology
+
+        network = Network(
+            sim, spec.cost,
+            shared_hub=spec.topology is Topology.SHARED_HUB,
+        )
+        next_id = 0
+
+        scheduler_node = Node(sim, next_id, "sched", spec.cost)
+        next_id += 1
+
+        source_nodes = []
+        for _ in range(spec.n_sources):
+            source_nodes.append(Node(sim, next_id, "src", spec.cost))
+            next_id += 1
+
+        join_nodes = []
+        for j in range(spec.n_potential_nodes):
+            join_nodes.append(
+                Node(
+                    sim,
+                    next_id,
+                    "join",
+                    spec.cost,
+                    hash_memory_bytes=spec.memory_of(j),
+                )
+            )
+            next_id += 1
+
+        return cls(
+            sim=sim,
+            spec=spec,
+            network=network,
+            scheduler_node=scheduler_node,
+            source_nodes=source_nodes,
+            join_nodes=join_nodes,
+        )
+
+    def join_node(self, index: int) -> Node:
+        """Potential/working join node by pool index (0-based)."""
+        return self.join_nodes[index]
+
+    @property
+    def all_nodes(self) -> list[Node]:
+        return [self.scheduler_node, *self.source_nodes, *self.join_nodes]

@@ -1,0 +1,183 @@
+"""Switched-Ethernet network model with byte-conservation accounting.
+
+Transfer model for one message of ``n`` payload bytes from node *a* to
+node *b* (100 Mb/s full-duplex switched Ethernet, non-blocking switch,
+TCP-like flow control):
+
+1. sender CPU handles the message (``net_per_message_cpu``),
+2. the sender acquires its TX link, waits one propagation ``net_latency``,
+3. acquires the receiver's RX link, and holds **both** links for the wire
+   time ``n / bandwidth`` — so a message clocks out at the bottleneck of
+   the two ports and, crucially, the *sender blocks* while the receiver's
+   port is saturated.  This is the congestion-window view of TCP: without
+   it, many senders could pour data into one 12.5 MB/s port at unbounded
+   rate and the backlog would hide in fictitious in-flight buffers (the
+   paper's testbed throttles senders exactly this way),
+4. receiver CPU handles it, then it lands in *b*'s mailbox.
+
+Per-pair FIFO ordering is preserved (FIFO links + deterministic
+tie-breaking in the kernel).  No deadlock is possible: an RX link is only
+ever held across a plain timeout, never while waiting for another
+resource.
+
+The network keeps per-(src, dst, kind) byte and message counters;
+:meth:`assert_conserved` verifies at end of run that every byte sent was
+delivered — a cheap full-system invariant the test suite leans on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Generator, Protocol
+
+import numpy as np
+
+from ..config import CostModel
+from ..sim import Resource, Simulator
+from .node import Node
+
+__all__ = ["Network", "Wireable"]
+
+
+class Wireable(Protocol):
+    """Anything the network can carry: must report its payload size."""
+
+    @property
+    def nbytes(self) -> int: ...
+
+    @property
+    def kind(self) -> str: ...
+
+
+class Network:
+    """The cluster interconnect."""
+
+    def __init__(self, sim: Simulator, cost: CostModel, jitter_seed: int = 0,
+                 shared_hub: bool = False):
+        self.sim = sim
+        self.cost = cost
+        # Deterministic jitter stream (only consulted when net_jitter > 0).
+        self._jitter_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=jitter_seed, spawn_key=(74,))
+        )
+        # SHARED_HUB topology: one half-duplex collision domain — every
+        # transfer serializes on this single medium instead of the
+        # per-node TX/RX port pair.
+        self._hub: Resource | None = (
+            Resource(sim, capacity=1, name="hub-medium") if shared_hub
+            else None
+        )
+        self.sent_bytes: dict[tuple[int, int, str], int] = defaultdict(int)
+        self.delivered_bytes: dict[tuple[int, int, str], int] = defaultdict(int)
+        self.sent_messages: dict[str, int] = defaultdict(int)
+        self.delivered_messages: dict[str, int] = defaultdict(int)
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: Node, dst: Node, message: Wireable) -> Generator[Any, Any, None]:
+        """Send ``message`` from ``src`` to ``dst`` (yield-from in a process).
+
+        Returns once the message has cleared both NICs (flow control: a
+        saturated receiver port blocks the sender); the final receiver-CPU
+        handling and mailbox deposit complete asynchronously.
+        """
+        nbytes = message.nbytes
+        if nbytes < 0:
+            raise ValueError("message reports a negative size")
+        key = (src.node_id, dst.node_id, message.kind)
+        self.sent_bytes[key] += nbytes
+        self.sent_messages[message.kind] += 1
+        self._in_flight += 1
+        yield from src.cpu.use(self.cost.net_per_message_cpu)
+        if message.kind == "data":
+            # Receive-window credit: held until the receiving process
+            # retires the chunk.  Acquired first — even for loopback
+            # delivery — because the receiver releases one credit per
+            # retired data chunk unconditionally; and before any link
+            # (TCP checks the window before transmitting) so that links
+            # are only ever held for bounded wire/latency times — holding
+            # TX while waiting on a credit deadlocks two nodes that
+            # stream at each other while their control replies queue
+            # behind the jammed TX (observed in the reshuffle step).
+            yield dst.recv_credits.acquire()
+        if src is not dst and self._hub is not None:
+            yield self._hub.acquire()
+            try:
+                yield self.sim.timeout(
+                    self.cost.net_latency + self.cost.wire_time(nbytes)
+                )
+                self._hub.busy_time += self.cost.wire_time(nbytes)
+            finally:
+                self._hub.release()
+        elif src is not dst:
+            wire = self.cost.wire_time(nbytes)
+            yield src.tx.acquire()
+            try:
+                yield self.sim.timeout(self.cost.net_latency)
+                yield dst.rx.acquire()
+                try:
+                    yield self.sim.timeout(wire)
+                    src.tx.busy_time += wire
+                    dst.rx.busy_time += wire
+                finally:
+                    dst.rx.release()
+            finally:
+                src.tx.release()
+        self.sim.spawn(
+            self._deliver(dst, message, nbytes, key),
+            name=f"net:{src.name}->{dst.name}",
+        )
+
+    def _deliver(
+        self,
+        dst: Node,
+        message: Wireable,
+        nbytes: int,
+        key: tuple[int, int, str],
+    ) -> Generator[Any, Any, None]:
+        if self.cost.net_jitter > 0.0:
+            # Chaos knob: a random stack/scheduling delay after the wire,
+            # holding no link — so messages may arrive REORDERED, which the
+            # protocol must tolerate (exercised by the chaos tests).
+            yield self.sim.timeout(
+                float(self._jitter_rng.uniform(0.0, self.cost.net_jitter))
+            )
+        yield from dst.cpu.use(self.cost.net_per_message_cpu)
+        self.delivered_bytes[key] += nbytes
+        self.delivered_messages[message.kind] += 1
+        self._in_flight -= 1
+        dst.mailbox.put(message)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet delivered."""
+        return self._in_flight
+
+    def total_sent_bytes(self, kind: str | None = None) -> int:
+        return sum(
+            v for (s, d, k), v in self.sent_bytes.items()
+            if kind is None or k == kind
+        )
+
+    def total_delivered_bytes(self, kind: str | None = None) -> int:
+        return sum(
+            v for (s, d, k), v in self.delivered_bytes.items()
+            if kind is None or k == kind
+        )
+
+    def assert_conserved(self) -> None:
+        """Check that every sent byte has been delivered (end of run)."""
+        if self._in_flight != 0:
+            raise AssertionError(f"{self._in_flight} messages still in flight")
+        if self.sent_bytes != self.delivered_bytes:
+            missing = {
+                k: (self.sent_bytes[k], self.delivered_bytes.get(k, 0))
+                for k in self.sent_bytes
+                if self.sent_bytes[k] != self.delivered_bytes.get(k, 0)
+            }
+            raise AssertionError(f"byte conservation violated: {missing}")

@@ -1,0 +1,338 @@
+"""Run configuration: cost model, cluster spec, workload spec.
+
+The cost model is calibrated to the paper's testbed (OSUMed: 24 Pentium-III
+933 MHz nodes, 512 MB RAM, local IDE disk, switched 100 Mb/s Ethernet).
+Absolute constants only set the time *scale*; the reproduced results depend
+on the ratios between network, CPU and disk costs, which these constants
+keep faithful to 2004-era commodity hardware.
+
+Scaling: the paper runs 10M-100M tuple relations.  ``WorkloadSpec.scale``
+shrinks tuple counts, the chunk size and per-node memory budgets *together*,
+preserving every ratio the algorithms react to (expansion factor, chunk
+counts, spill fractions).  The default benchmarks use scale = 1/50.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "Algorithm",
+    "SplitPolicy",
+    "Distribution",
+    "CostModel",
+    "ClusterSpec",
+    "WorkloadSpec",
+    "RunConfig",
+    "MTUPLES",
+    "DEFAULT_SCALE",
+]
+
+#: convenience: 1 "M tuples" in the paper's units
+MTUPLES = 1_000_000
+
+#: default down-scaling for benchmarks (10M paper tuples -> 200k real tuples)
+DEFAULT_SCALE = 1.0 / 50.0
+
+
+class Algorithm(enum.Enum):
+    """Join algorithm selector (the paper's four compared algorithms)."""
+
+    SPLIT = "split"
+    REPLICATE = "replicate"
+    HYBRID = "hybrid"
+    OUT_OF_CORE = "ooc"
+
+    @property
+    def is_expanding(self) -> bool:
+        return self is not Algorithm.OUT_OF_CORE
+
+
+class SplitPolicy(enum.Enum):
+    """Which split rule the split-based algorithm uses (see DESIGN.md §2).
+
+    TARGETED_BISECT (default): bisect the hash range of the node that
+    reported memory full — the abstract's description ("partitions the
+    hash table range assigned to the node, on which memory is full, into
+    two segments").  Under skew the full node's range is re-bisected
+    repeatedly and the hot mass re-shipped each time, which is exactly the
+    paper's "communicate the same tuple many times" pathology (Figs 10-13).
+
+    LINEAR_POINTER: order-preserving linear hashing — the split pointer
+    walks the buckets round-robin (§4.2.1's machinery); the pointed
+    bucket's contiguous range is bisected.  Ablation: under extreme skew
+    the pointer wastes splits on empty cold buckets, so it does NOT
+    reproduce Figure 11's re-communication volume (a reproduction finding;
+    see EXPERIMENTS.md).
+
+    LINEAR_MOD: classic Litwin linear hashing with modulo addressing
+    (h_i(p) = p mod n0*2^i).  Ablation variant: the modulo scatters
+    contiguous hot positions across buckets, which — like hash mixing —
+    suppresses the skew effects the paper observed.
+    """
+
+    TARGETED_BISECT = "bisect"
+    LINEAR_POINTER = "linear"
+    LINEAR_MOD = "linear_mod"
+
+
+class Distribution(enum.Enum):
+    """Join-attribute value distribution for synthetic relations."""
+
+    UNIFORM = "uniform"
+    GAUSSIAN = "gaussian"
+    ZIPF = "zipf"  # extension beyond the paper
+
+
+class Topology(enum.Enum):
+    """Interconnect model (the paper's 'network configurations' future work).
+
+    SWITCHED — non-blocking switch, one full-duplex port per node (the
+    paper's testbed).  SHARED_HUB — a single half-duplex collision domain:
+    every transfer serializes on one shared medium (late-90s hub Ethernet).
+    """
+
+    SWITCHED = "switched"
+    SHARED_HUB = "hub"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs charged by the simulated cluster.
+
+    All times in seconds, sizes in bytes.  Defaults approximate OSUMed.
+    """
+
+    #: per-NIC bandwidth (100 Mb/s switched Ethernet, full duplex)
+    net_bandwidth: float = 12.5e6
+    #: one-way message latency (switch + stack)
+    net_latency: float = 120e-6
+    #: uniform random extra latency per message, in seconds.  Zero keeps
+    #: per-pair FIFO delivery; any positive value lets messages reorder,
+    #: which the protocol must (and does — see the chaos tests) tolerate
+    net_jitter: float = 0.0
+    #: fixed CPU cost to send or receive one message (syscall + memcpy)
+    net_per_message_cpu: float = 40e-6
+    #: size charged for control-plane messages
+    control_msg_bytes: int = 64
+
+    #: CPU cost to generate one tuple at a data source (select/filter + rng)
+    cpu_generate_tuple: float = 0.35e-6
+    #: CPU cost at a source to hash + route one tuple into a buffer
+    cpu_route_tuple: float = 0.10e-6
+    #: CPU cost to insert one tuple into the hash table
+    cpu_insert_tuple: float = 0.30e-6
+    #: CPU cost to probe one tuple against the hash table
+    cpu_probe_tuple: float = 0.35e-6
+    #: CPU cost to emit one matching output pair
+    cpu_output_match: float = 0.05e-6
+    #: CPU cost to extract/repack one tuple during split/reshuffle transfers
+    cpu_repack_tuple: float = 0.08e-6
+
+    #: effective disk bandwidth for bucket-file I/O (2004 IDE disk with
+    #: interleaved bucket reads/writes, filesystem overhead and competing
+    #: network receive traffic — far below the drive's sequential rating)
+    disk_bandwidth: float = 6e6
+    #: fixed latency per disk batch operation (seek + rotational)
+    disk_seek: float = 8e-3
+
+    #: receive window per node in data chunks (TCP-like flow control): a
+    #: node that stops consuming (memory full, slow disk) blocks its
+    #: senders once this many chunks are buffered, which is what bounds
+    #: the paper's "pending messages" at a full join process
+    recv_window_chunks: int = 4
+
+    def wire_time(self, nbytes: int) -> float:
+        """Serialization time of ``nbytes`` on one NIC."""
+        return nbytes / self.net_bandwidth
+
+    def disk_time(self, nbytes: int) -> float:
+        """Time for one batched sequential disk transfer of ``nbytes``."""
+        return self.disk_seek + nbytes / self.disk_bandwidth
+
+    def scaled(self, scale: float) -> "CostModel":
+        """Co-scale fixed per-operation costs with the workload scale.
+
+        At scale ``s`` every byte quantity shrinks by ``s`` while operation
+        *counts* (chunks, messages, disk batches) stay the same, so fixed
+        per-op costs would be over-weighted by ``1/s`` relative to the
+        paper's full-scale runs.  Scaling them by ``s`` keeps every
+        cost ratio faithful and makes simulated time ~ ``s`` x full-scale
+        time (so ``time / scale`` approximates paper-scale seconds).
+        Per-byte and per-tuple costs are untouched — their totals already
+        scale with the workload.
+        """
+        if scale == 1.0:
+            return self
+        return replace(
+            self,
+            net_latency=self.net_latency * scale,
+            net_jitter=self.net_jitter * scale,
+            net_per_message_cpu=self.net_per_message_cpu * scale,
+            disk_seek=self.disk_seek * scale,
+            control_msg_bytes=max(1, int(self.control_msg_bytes * scale)),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the simulated cluster.
+
+    ``hash_memory_bytes`` is the per-node memory budget for hash-table
+    buckets (the paper's overflow threshold), *not* total RAM.  The default
+    makes 16 nodes exactly sufficient for a 10M x 100B hash table at scale
+    1.0, matching Figure 2's observation.  May be a single int (homogeneous)
+    or overridden per node via ``node_memory_overrides``.
+    """
+
+    n_sources: int = 4
+    n_potential_nodes: int = 24
+    hash_memory_bytes: int = 64 * 1024 * 1024  # 64 MB: 10M*100B/16 rounded up
+    node_memory_overrides: tuple[tuple[int, int], ...] = ()
+    cost: CostModel = field(default_factory=CostModel)
+    topology: Topology = Topology.SWITCHED
+
+    def memory_of(self, node_index: int) -> int:
+        """Hash-table memory budget of potential join node ``node_index``."""
+        for idx, mem in self.node_memory_overrides:
+            if idx == node_index:
+                return mem
+        return self.hash_memory_bytes
+
+    def scaled(self, scale: float) -> "ClusterSpec":
+        """Scale memory budgets and fixed per-op costs (co-scaling rule)."""
+        if scale == 1.0:
+            return self
+        return replace(
+            self,
+            hash_memory_bytes=max(1, int(self.hash_memory_bytes * scale)),
+            node_memory_overrides=tuple(
+                (i, max(1, int(m * scale))) for i, m in self.node_memory_overrides
+            ),
+            cost=self.cost.scaled(scale),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The synthetic join workload (paper §5 'Data Generation').
+
+    Tuple layout: 64-bit index + 64-bit join attribute + payload; the paper
+    reports total tuple sizes of 100/200/400 bytes, which we adopt as
+    ``tuple_bytes``.  ``r_tuples``/``s_tuples`` are in *paper units*
+    (pre-scale); real generated counts are ``int(x * scale)``.
+    """
+
+    r_tuples: int = 10 * MTUPLES
+    s_tuples: int = 10 * MTUPLES
+    tuple_bytes: int = 100
+    distribution: Distribution = Distribution.UNIFORM
+    #: Gaussian mean/sigma as fractions of the value range.  The paper sets
+    #: mean and standard deviation *individually for each relation* (its
+    #: experiments use the same values for R and S); the ``s_*`` overrides
+    #: below give S its own parameters when set.
+    gauss_mean: float = 0.5
+    gauss_sigma: float = 0.001
+    #: Zipf exponent (extension; ignored unless distribution == ZIPF)
+    zipf_s: float = 1.1
+    #: per-relation overrides for S (None -> same as R, the paper's setup)
+    s_distribution: Optional[Distribution] = None
+    s_gauss_mean: Optional[float] = None
+    s_gauss_sigma: Optional[float] = None
+    #: tuples per communication chunk (paper: 10,000)
+    chunk_tuples: int = 10_000
+    scale: float = DEFAULT_SCALE
+    seed: int = 20040607
+
+    def __post_init__(self) -> None:
+        if self.tuple_bytes < 16:
+            raise ValueError("tuple_bytes must cover the two 64-bit fields")
+        if not (0 < self.scale <= 1.0):
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.chunk_tuples < 1:
+            raise ValueError("chunk_tuples must be >= 1")
+
+    def params_for(self, relation: str) -> tuple[Distribution, float, float]:
+        """(distribution, gauss_mean, gauss_sigma) for one relation."""
+        if relation == "S":
+            return (
+                self.s_distribution or self.distribution,
+                self.s_gauss_mean if self.s_gauss_mean is not None
+                else self.gauss_mean,
+                self.s_gauss_sigma if self.s_gauss_sigma is not None
+                else self.gauss_sigma,
+            )
+        return (self.distribution, self.gauss_mean, self.gauss_sigma)
+
+    @property
+    def real_r_tuples(self) -> int:
+        return max(1, int(self.r_tuples * self.scale))
+
+    @property
+    def real_s_tuples(self) -> int:
+        return max(1, int(self.s_tuples * self.scale))
+
+    @property
+    def real_chunk_tuples(self) -> int:
+        return max(1, int(self.chunk_tuples * self.scale))
+
+    @property
+    def chunk_bytes(self) -> int:
+        return self.real_chunk_tuples * self.tuple_bytes
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything needed to execute one simulated join run."""
+
+    algorithm: Algorithm = Algorithm.HYBRID
+    initial_nodes: int = 4
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    split_policy: SplitPolicy = SplitPolicy.TARGETED_BISECT
+    #: number of hash-table positions (order-preserving map resolution)
+    hash_positions: int = 1 << 18
+    #: mix join attributes before positioning (destroys value locality;
+    #: ablation knob — the paper's behaviour corresponds to False)
+    mix_hash: bool = False
+    #: materialize join output pairs in join-node memory instead of
+    #: streaming them onward (paper: "joining elements are either written
+    #: to disk or forwarded to the client"; materialization is the
+    #: multi-way-join scenario of §6's future work)
+    materialize_output: bool = False
+    #: logical bytes per materialized output pair (r + s tuple)
+    output_pair_bytes: int = 200
+    #: probe-phase expansion (paper footnote 1): when materialized output
+    #: overflows a node's memory, recruit a fresh node as an output sink
+    #: and forward further pairs there; without it, overflow spills to the
+    #: local disk
+    probe_expansion: bool = False
+    #: data sources read the relations from their local disks instead of
+    #: generating them on the fly (both modes appear in paper §4.1.2)
+    sources_from_disk: bool = False
+    #: scheduler poll interval for drain/termination detection (seconds)
+    drain_poll_interval: float = 0.010
+    trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.initial_nodes < 1:
+            raise ValueError("initial_nodes must be >= 1")
+        if self.initial_nodes > self.cluster.n_potential_nodes:
+            raise ValueError(
+                f"initial_nodes={self.initial_nodes} exceeds pool size "
+                f"{self.cluster.n_potential_nodes}"
+            )
+        if self.hash_positions < self.cluster.n_potential_nodes:
+            raise ValueError("hash_positions must cover at least one per node")
+
+    @property
+    def effective_cluster(self) -> ClusterSpec:
+        """Cluster spec with memory budgets co-scaled with the workload."""
+        return self.cluster.scaled(self.workload.scale)
+
+    @property
+    def effective_drain_poll(self) -> float:
+        """Drain poll interval, co-scaled like the other fixed time costs."""
+        return self.drain_poll_interval * self.workload.scale

@@ -1,0 +1,41 @@
+"""The paper's contribution: Expanding Hash-based Join Algorithms.
+
+Actors (scheduler / data sources / join processes, §4.1), the three
+expansion strategies plus the out-of-core baseline (§4.2), and the run
+driver that assembles a :class:`JoinRunResult` per simulated join.
+"""
+
+from .context import RunContext
+from .datasource import DataSourceProcess
+from .driver import run_join
+from .hybrid import HybridStrategy
+from .joinnode import JoinProcess, SpillStore
+from .messages import DataChunk, Hop
+from .ooc import OutOfCoreStrategy
+from .replicate import ReplicationStrategy
+from .results import CommStats, JoinRunResult, NodeLoad, NodeUtilization, PhaseTimes
+from .scheduler import SchedulerProcess
+from .split import SplitStrategy
+from .strategy import ExpansionStrategy, make_strategy
+
+__all__ = [
+    "CommStats",
+    "DataChunk",
+    "DataSourceProcess",
+    "ExpansionStrategy",
+    "Hop",
+    "HybridStrategy",
+    "JoinProcess",
+    "JoinRunResult",
+    "NodeLoad",
+    "NodeUtilization",
+    "OutOfCoreStrategy",
+    "PhaseTimes",
+    "ReplicationStrategy",
+    "RunContext",
+    "SchedulerProcess",
+    "SpillStore",
+    "SplitStrategy",
+    "make_strategy",
+    "run_join",
+]

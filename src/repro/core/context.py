@@ -1,0 +1,83 @@
+"""Shared run context: wiring between the simulated cluster and the actors.
+
+One :class:`RunContext` exists per run.  It owns the cluster, the position
+map, the tracer and the cross-actor accounting (hop-tagged communication
+counters the figures are computed from), and provides addressed send
+helpers so actor code reads like message-passing pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..cluster import Cluster, Node
+from ..config import RunConfig
+from ..hashing import PositionMap
+from ..sim import Simulator, Tracer
+from .messages import DataChunk
+from .results import CommStats
+
+__all__ = ["RunContext"]
+
+
+class RunContext:
+    """Everything a scheduler/source/join process needs to participate."""
+
+    def __init__(self, sim: Simulator, cfg: RunConfig):
+        self.sim = sim
+        self.cfg = cfg
+        self.cluster = Cluster.build(sim, cfg.effective_cluster)
+        self.posmap = PositionMap(cfg.hash_positions, mix=cfg.mix_hash)
+        self.tracer = Tracer(enabled=cfg.trace)
+        self.comm = CommStats()
+        self.cost = cfg.effective_cluster.cost
+        # Barrier-split-pointer semantics (§4.2.1): at most one split's
+        # data transfer is on the wire at a time — the scheduler's "done"
+        # message gates the next split, so split traffic serializes at
+        # single-link bandwidth (the §4.2.4 model's T_split = volume*t_w).
+        from ..sim import Resource
+
+        self.split_transfer_token = Resource(sim, capacity=1,
+                                             name="split-barrier")
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    @property
+    def scheduler_node(self) -> Node:
+        return self.cluster.scheduler_node
+
+    def source_node(self, s: int) -> Node:
+        return self.cluster.source_nodes[s]
+
+    def join_node(self, j: int) -> Node:
+        """Join node by pool index (0 .. n_potential_nodes-1)."""
+        return self.cluster.join_nodes[j]
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.cluster.source_nodes)
+
+    @property
+    def n_potential(self) -> int:
+        return len(self.cluster.join_nodes)
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, src: Node, dst: Node, msg: Any) -> Generator[Any, Any, None]:
+        """Send ``msg`` over the network, recording comm statistics."""
+        if isinstance(msg, DataChunk):
+            self.comm.tuples_by_hop[msg.hop] = (
+                self.comm.tuples_by_hop.get(msg.hop, 0) + msg.tuples
+            )
+            self.comm.chunks_by_hop[msg.hop] = (
+                self.comm.chunks_by_hop.get(msg.hop, 0) + 1
+            )
+        self.comm.bytes_by_kind[msg.kind] = (
+            self.comm.bytes_by_kind.get(msg.kind, 0) + msg.nbytes
+        )
+        yield from self.cluster.network.send(src, dst, msg)
+
+    def trace(self, category: str, actor: str, **detail: Any) -> None:
+        self.tracer.emit(self.sim.now, category, actor, **detail)

@@ -1,0 +1,238 @@
+"""The data-source actor (paper §4.1.2).
+
+A source generates its share of relations R and S on the fly, keeps one
+buffer per working join node, routes every generated tuple by its hash
+position through the current routing table, and ships full buffers as
+:class:`~repro.core.messages.DataChunk` messages.  Routing-table updates
+broadcast by the scheduler are applied between generation batches; already
+buffered (unsent) tuples are re-partitioned under the new table, mirroring
+the paper's "data sources update their local list of working join nodes".
+
+In the probe phase a tuple whose range is replicated is sent to *every*
+replica (paper §4.2.2) — the source counts the extra copies, which is the
+probe-side overhead of the replication-based algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..data import RelationStream
+from ..hashing import Router
+from .context import RunContext
+from .messages import (
+    DataChunk,
+    Hop,
+    RouteUpdate,
+    Shutdown,
+    SourceDone,
+    StartProbe,
+)
+
+__all__ = ["DataSourceProcess"]
+
+
+class _Buffers:
+    """Per-destination tuple buffers with fixed-size chunk flushing."""
+
+    def __init__(self, chunk_tuples: int):
+        self.chunk_tuples = chunk_tuples
+        self._parts: dict[int, list[np.ndarray]] = {}
+        self._counts: dict[int, int] = {}
+
+    def append(self, dest: int, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        self._parts.setdefault(dest, []).append(values)
+        self._counts[dest] = self._counts.get(dest, 0) + int(values.size)
+
+    def pop_full_chunk(self, dest: int) -> np.ndarray | None:
+        """Remove exactly ``chunk_tuples`` tuples if available."""
+        if self._counts.get(dest, 0) < self.chunk_tuples:
+            return None
+        pool = np.concatenate(self._parts[dest])
+        chunk, rest = pool[: self.chunk_tuples], pool[self.chunk_tuples:]
+        self._parts[dest] = [rest] if rest.size else []
+        self._counts[dest] = int(rest.size)
+        return chunk
+
+    def pop_all(self, dest: int) -> np.ndarray | None:
+        if self._counts.get(dest, 0) == 0:
+            return None
+        pool = np.concatenate(self._parts[dest])
+        self._parts[dest] = []
+        self._counts[dest] = 0
+        return pool
+
+    def destinations(self) -> list[int]:
+        return sorted(d for d, c in self._counts.items() if c > 0)
+
+    def drain_everything(self) -> np.ndarray:
+        """Remove and return every buffered tuple (for re-partitioning)."""
+        pools = [np.concatenate(p) for p in self._parts.values() if p]
+        self._parts.clear()
+        self._counts.clear()
+        if not pools:
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(pools)
+
+    @property
+    def total_buffered(self) -> int:
+        return sum(self._counts.values())
+
+
+class DataSourceProcess:
+    """One data source; drive with ``sim.spawn(proc.run())``."""
+
+    def __init__(self, ctx: RunContext, source_index: int, initial_router: Router):
+        self.ctx = ctx
+        self.index = source_index
+        self.node = ctx.source_node(source_index)
+        self.router = initial_router
+        self.chunk_tuples = ctx.cfg.workload.real_chunk_tuples
+        # per-relation per-destination send counters (drain ground truth)
+        self.chunks_sent: dict[str, dict[int, int]] = {"R": {}, "S": {}}
+        self.tuples_sent: dict[str, dict[int, int]] = {"R": {}, "S": {}}
+        self.dup_tuples = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Any, Any, None]:
+        ctx, cfg = self.ctx, self.ctx.cfg
+        wl = cfg.workload
+
+        # ---- build phase: stream R ------------------------------------
+        r_stream = RelationStream(wl, "R", ctx.n_sources, self.index)
+        yield from self._stream_relation(r_stream, "R", probe=False)
+        yield from self._report_done("R")
+
+        # ---- wait for the probe signal --------------------------------
+        probe_router = yield from self._await_start_probe()
+        self.router = probe_router
+
+        # ---- probe phase: stream S ------------------------------------
+        s_stream = RelationStream(wl, "S", ctx.n_sources, self.index)
+        yield from self._stream_relation(s_stream, "S", probe=True)
+        yield from self._report_done("S")
+
+        # ---- idle until shutdown ---------------------------------------
+        while True:
+            msg = yield self.node.mailbox.get()
+            if isinstance(msg, Shutdown):
+                return
+
+    # ------------------------------------------------------------------
+    def _stream_relation(
+        self, stream: RelationStream, relation: str, probe: bool
+    ) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        cost = ctx.cost
+        buffers = _Buffers(self.chunk_tuples)
+
+        for batch in stream.batches():
+            if ctx.cfg.sources_from_disk:
+                # The relation sits in local files (paper §4.1.2's other
+                # mode): a batched read replaces the generation cost.
+                yield from self.node.disk.read(
+                    int(batch.size) * ctx.cfg.workload.tuple_bytes
+                )
+            else:
+                yield from self.node.compute_per_tuple(
+                    cost.cpu_generate_tuple, batch.size
+                )
+            if self._apply_route_updates() and buffers.total_buffered:
+                # Routing changed: re-partition unsent buffered tuples.
+                pool = buffers.drain_everything()
+                yield from self._route_into(buffers, pool, relation, probe)
+            yield from self._route_into(buffers, batch, relation, probe)
+            yield from self._flush_full(buffers, relation)
+
+        # Relation exhausted: flush every partial buffer.
+        self._apply_route_updates()
+        for dest in buffers.destinations():
+            values = buffers.pop_all(dest)
+            if values is not None:
+                yield from self._send_chunk(dest, relation, values, probe)
+
+    def _route_into(
+        self, buffers: _Buffers, values: np.ndarray, relation: str, probe: bool
+    ) -> Generator[Any, Any, None]:
+        if values.size == 0:
+            return
+        ctx = self.ctx
+        yield from self.node.compute_per_tuple(ctx.cost.cpu_route_tuple, values.size)
+        positions = ctx.posmap(values)
+        if probe:
+            parts = self.router.partition_probe(positions)
+            assigned = sum(int(idx.size) for idx in parts.values())
+            self.dup_tuples += assigned - int(values.size)
+        else:
+            parts = self.router.partition_build(positions)
+        for dest, idx in sorted(parts.items()):
+            buffers.append(dest, values[idx])
+
+    def _flush_full(self, buffers: _Buffers, relation: str) -> Generator[Any, Any, None]:
+        for dest in buffers.destinations():
+            while True:
+                chunk = buffers.pop_full_chunk(dest)
+                if chunk is None:
+                    break
+                yield from self._send_chunk(dest, relation, chunk, relation == "S")
+
+    def _send_chunk(
+        self, dest: int, relation: str, values: np.ndarray, probe: bool
+    ) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        hop = Hop.PROBE if probe else Hop.PRIMARY
+        msg = DataChunk(
+            relation=relation,
+            values=values,
+            tuple_bytes=ctx.cfg.workload.tuple_bytes,
+            hop=hop,
+            origin=self.node.node_id,
+            version=self.router.version,
+        )
+        self.chunks_sent[relation][dest] = self.chunks_sent[relation].get(dest, 0) + 1
+        self.tuples_sent[relation][dest] = (
+            self.tuples_sent[relation].get(dest, 0) + int(values.size)
+        )
+        yield from ctx.send(self.node, ctx.join_node(dest), msg)
+
+    # ------------------------------------------------------------------
+    def _apply_route_updates(self) -> bool:
+        """Drain pending RouteUpdates; keep the newest. Returns True if the
+        routing table changed."""
+        changed = False
+        for msg in self.node.mailbox.drain():
+            if isinstance(msg, RouteUpdate):
+                if msg.router.version > self.router.version:
+                    self.router = msg.router
+                    changed = True
+            elif isinstance(msg, StartProbe):
+                # Cannot happen before SourceDone; tolerate by re-queueing.
+                self.node.mailbox.put(msg)
+        return changed
+
+    def _await_start_probe(self) -> Generator[Any, Any, Router]:
+        while True:
+            msg = yield self.node.mailbox.get()
+            if isinstance(msg, StartProbe):
+                assert msg.router is not None, "sources need the probe router"
+                return msg.router
+            # stale build-phase RouteUpdates are harmless here
+            if not isinstance(msg, RouteUpdate):
+                raise RuntimeError(f"source {self.index} got {msg!r} pre-probe")
+
+    def _report_done(self, relation: str) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        done = SourceDone(
+            source=self.index,
+            relation=relation,
+            chunks_sent=dict(self.chunks_sent[relation]),
+            tuples_sent=dict(self.tuples_sent[relation]),
+            dup_tuples=self.dup_tuples,
+        )
+        ctx.trace("source_done", f"src{self.index}", relation=relation,
+                  chunks=sum(done.chunks_sent.values()))
+        yield from ctx.send(self.node, ctx.scheduler_node, done)

@@ -1,0 +1,154 @@
+"""Run driver: wire the actors, run the simulation, assemble the result.
+
+This is the public entry point::
+
+    from repro import run_join, RunConfig, Algorithm
+
+    result = run_join(RunConfig(algorithm=Algorithm.HYBRID, initial_nodes=4))
+    print(result.summary())
+
+The driver also validates the run end-to-end by default: the distributed
+match count must equal the sequential oracle on the identical relations,
+and the network must conserve bytes.
+"""
+
+from __future__ import annotations
+
+from ..config import Algorithm, RunConfig
+from ..data import materialize_relation
+from ..seqjoin import match_count
+from ..sim import Simulator
+from .context import RunContext
+from .datasource import DataSourceProcess
+from .joinnode import JoinProcess
+from .messages import Hop
+from .results import JoinRunResult, NodeLoad, NodeUtilization, PhaseTimes
+from .scheduler import SchedulerProcess
+
+__all__ = ["run_join"]
+
+
+def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
+    """Execute one simulated parallel join under ``cfg``.
+
+    ``validate=True`` additionally computes the exact join cardinality with
+    the sequential reference and raises ``AssertionError`` on any mismatch
+    or conservation violation — the whole-system invariant the test suite
+    leans on.  Pass ``validate=False`` for large benchmark sweeps where the
+    oracle's O((|R|+|S|) log |R|) cost is unwanted.
+    """
+    sim = Simulator()
+    ctx = RunContext(sim, cfg)
+
+    scheduler = SchedulerProcess(ctx)
+    sched_proc = sim.spawn(scheduler.run(), name="scheduler")
+
+    auto_spill = cfg.algorithm is Algorithm.OUT_OF_CORE
+    joins = [
+        JoinProcess(ctx, j, auto_spill=auto_spill) for j in range(ctx.n_potential)
+    ]
+    for jp in joins:
+        sim.spawn(jp.run(), name=f"join{jp.index}")
+
+    sources = [
+        DataSourceProcess(ctx, s, scheduler.router) for s in range(ctx.n_sources)
+    ]
+    for sp in sources:
+        sim.spawn(sp.run(), name=f"src{sp.index}")
+
+    sim.run()
+
+    outcome = sched_proc.value
+    ctx.cluster.network.assert_conserved()
+
+    # Fold the probe-side replica duplicates into the hop accounting.
+    if outcome.probe_dup_tuples:
+        ctx.comm.tuples_by_hop[Hop.PROBE_DUP] = outcome.probe_dup_tuples
+
+    times = PhaseTimes(
+        build_s=outcome.t_build,
+        reshuffle_s=outcome.t_reshuffle - outcome.t_build,
+        probe_s=outcome.t_probe - outcome.t_reshuffle,
+        ooc_pass_s=outcome.t_ooc - outcome.t_probe,
+    )
+
+    reports = outcome.final_reports
+    loads = [
+        NodeLoad(
+            node=j,
+            stored_tuples=r.stored_tuples,
+            activated_at=r.activated_at,
+            peak_memory=r.peak_memory,
+            spilled_r_tuples=r.spilled_r_tuples,
+        )
+        for j, r in sorted(reports.items())
+    ]
+    matches = sum(r.matches for r in reports.values())
+
+    reference = None
+    if validate:
+        r_values = materialize_relation(cfg.workload, "R", ctx.n_sources)
+        s_values = materialize_relation(cfg.workload, "S", ctx.n_sources)
+        reference = match_count(r_values, s_values)
+        if matches != reference:
+            raise AssertionError(
+                f"join result mismatch: distributed={matches} oracle={reference} "
+                f"({cfg.algorithm.value}, initial={cfg.initial_nodes})"
+            )
+        stored_total = sum(l.stored_tuples for l in loads)
+        spilled_total = sum(r.spilled_r_tuples for r in reports.values())
+        if stored_total + spilled_total != r_values.size:
+            raise AssertionError(
+                f"build tuples lost: stored={stored_total} spilled={spilled_total} "
+                f"generated={r_values.size}"
+            )
+
+    result = JoinRunResult(
+        config=cfg,
+        times=times,
+        matches=matches,
+        reference_matches=reference,
+        comm=ctx.comm,
+        loads=loads,
+        nodes_used=len(outcome.activated),
+        expansion_trace=list(outcome.expansion_trace),
+        n_splits=outcome.n_splits,
+        split_moved_tuples=outcome.split_moved_tuples,
+        # Split time (Figure 5): serialized relief-cycle overhead plus the
+        # wall time of the actual split transfers on the join nodes.
+        split_busy_s=outcome.split_busy_s
+        + sum(r.split_transfer_s for r in reports.values()),
+        reshuffle_moved_tuples=outcome.reshuffle_moved_tuples,
+        overcommit_bytes=sum(r.overcommit_bytes for r in reports.values()),
+        spilled_r_tuples=sum(r.spilled_r_tuples for r in reports.values()),
+        spilled_s_tuples=sum(r.spilled_s_tuples for r in reports.values()),
+        output_tuples=sum(r.output_tuples for r in reports.values()),
+        output_spilled_tuples=sum(
+            r.output_spilled_tuples for r in reports.values()
+        ),
+        output_sink_nodes=sum(
+            1 for r in reports.values() if r.is_output_sink
+        ),
+    )
+    if validate and cfg.materialize_output:
+        kept = result.output_tuples + result.output_spilled_tuples
+        if kept != matches:
+            raise AssertionError(
+                f"materialized output lost: kept={kept} matches={matches}"
+            )
+    total = sim.now
+    if total > 0:
+        for node in (*ctx.cluster.source_nodes,
+                     *(ctx.join_node(j) for j in sorted(reports))):
+            result.utilization.append(NodeUtilization(
+                node=node.node_id,
+                role=node.role,
+                cpu=node.cpu.busy_time / total,
+                tx=node.tx.busy_time / total,
+                rx=node.rx.busy_time / total,
+                disk=node.disk.busy_time / total,
+            ))
+
+    # Expose the trace for tests/examples without widening the result type.
+    result.tracer = ctx.tracer  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,26 @@
+"""Hybrid expansion (paper §4.2.3).
+
+Build phase: identical to the replication-based algorithm (no stored tuple
+moves while R streams in).  Between build and probe the scheduler runs the
+**reshuffling** step: nodes sharing a replicated range exchange per-position
+tuple counts, the range is cut into contiguous equal-weight sub-ranges by
+the greedy heuristic, and tuples are redistributed so that every node ends
+up with a disjoint sub-range.  The probe phase is then single-destination
+again, like the split-based algorithm.
+
+The reshuffle protocol itself lives in
+:meth:`repro.core.scheduler.SchedulerProcess._reshuffle_phase`; this class
+just flips the flag and supplies the replication build behaviour.
+"""
+
+from __future__ import annotations
+
+from .replicate import ReplicationStrategy
+
+__all__ = ["HybridStrategy"]
+
+
+class HybridStrategy(ReplicationStrategy):
+    """Replication during build + reshuffling before probe."""
+
+    needs_reshuffle = True

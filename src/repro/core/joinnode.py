@@ -1,0 +1,803 @@
+"""The join-process actor (paper §4.1.3).
+
+One join process per recruited node.  It builds and maintains a portion of
+the hash table, detects memory-full conditions, executes split / replicate
+/ reshuffle orders from the scheduler, probes its portion in the probe
+phase, and — for the out-of-core baseline or the pool-exhausted fallback —
+spills to local disk Grace-style.
+
+Misrouted tuples (in-flight chunks routed with a stale table, or pending
+buffers at a node that has since shed part of its range) are handled with a
+**shed chain**: every split the node performed is remembered as a
+``(predicate-on-positions, successor)`` pair, applied in chronological
+order to each arriving chunk, so any tuple the node no longer owns is
+forwarded to exactly the node that took that range over.  This replays the
+node's split history and is therefore exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..hashing import HashRange, NodeHashStore
+from ..seqjoin import match_count
+from .context import RunContext
+from .messages import (
+    ActivateJoin,
+    BisectOrder,
+    CountRequest,
+    CountVector,
+    DataChunk,
+    FinalReport,
+    FinalizePass,
+    Hop,
+    LinearSplitOrder,
+    MemoryFull,
+    OutputRedirect,
+    PassDone,
+    ReliefAck,
+    ReliefPing,
+    ReplicateOrder,
+    ReshuffleDone,
+    ReshuffleOrder,
+    Shutdown,
+    SpillOrder,
+    SplitDone,
+    StartProbe,
+    StatusReport,
+    StatusRequest,
+)
+
+__all__ = ["JoinProcess", "SpillStore"]
+
+ShedPredicate = Callable[[np.ndarray], np.ndarray]
+
+
+class SpillStore:
+    """Grace-style disk partitions for one node's overflow (paper §2).
+
+    The node's hash range is cut into ``k_parts`` position sub-ranges.
+    Overflow build tuples are appended to their sub-partition's R file;
+    probe tuples are written to the S file of sub-partitions that actually
+    hold spilled R tuples.  The final passes join each (R_p, S_p) pair in
+    core; a partition whose R side still exceeds the node's memory budget
+    is **recursively re-partitioned** (classic Grace behaviour), charging
+    an extra disk round trip per level.
+    """
+
+    MAX_RECURSION = 8
+
+    def __init__(self, ctx: RunContext, node_index: int, k_parts: int = 8,
+                 hash_range: Optional[HashRange] = None):
+        self.ctx = ctx
+        self.node = ctx.join_node(node_index)
+        self.k = k_parts
+        # Sub-partition over the node's own range (a bucket only ever sees
+        # its own positions); bucket-addressed nodes (LINEAR_MOD) fall back
+        # to the full table.
+        self.lo = hash_range.lo if hash_range else 0
+        self.hi = hash_range.hi if hash_range else ctx.cfg.hash_positions
+        self._r_parts: list[list[np.ndarray]] = [[] for _ in range(self.k)]
+        self._s_parts: list[list[np.ndarray]] = [[] for _ in range(self.k)]
+        self.spilled_r = 0
+        self.spilled_s = 0
+        #: extra disk round trips caused by recursive re-partitioning
+        self.recursive_passes = 0
+        self._tb = ctx.cfg.workload.tuple_bytes
+        self._cap_tuples = max(1, self.node.memory.capacity // self._tb)
+
+    def _part_of(self, positions: np.ndarray) -> np.ndarray:
+        width = self.hi - self.lo
+        rel = np.clip(positions - self.lo, 0, width - 1)
+        return np.minimum(rel * self.k // width, self.k - 1)
+
+    def write_r(self, values: np.ndarray) -> Generator[Any, Any, None]:
+        parts = self._part_of(self.ctx.posmap(values))
+        for p in range(self.k):
+            sel = values[parts == p]
+            if sel.size:
+                self._r_parts[p].append(sel)
+        self.spilled_r += int(values.size)
+        yield from self.node.disk.write(int(values.size) * self._tb)
+
+    def write_s(self, values: np.ndarray) -> Generator[Any, Any, int]:
+        """Spill only probe tuples whose sub-partition has spilled R."""
+        parts = self._part_of(self.ctx.posmap(values))
+        written = 0
+        for p in range(self.k):
+            if not self._r_parts[p]:
+                continue
+            sel = values[parts == p]
+            if sel.size:
+                self._s_parts[p].append(sel)
+                written += int(sel.size)
+        if written:
+            self.spilled_s += written
+            yield from self.node.disk.write(written * self._tb)
+        return written
+
+    def final_passes(self) -> Generator[Any, Any, int]:
+        """Join every spilled (R_p, S_p) pair; returns match count."""
+        matches = 0
+        for p in range(self.k):
+            if not self._r_parts[p]:
+                continue
+            r_p = np.concatenate(self._r_parts[p])
+            s_p = (np.concatenate(self._s_parts[p]) if self._s_parts[p]
+                   else np.empty(0, dtype=np.uint64))
+            matches += yield from self._join_partition(r_p, s_p, depth=0)
+        return matches
+
+    def _join_partition(
+        self, r_p: np.ndarray, s_p: np.ndarray, depth: int
+    ) -> Generator[Any, Any, int]:
+        """In-core join of one bucket pair, recursing while R overflows."""
+        cost = self.ctx.cost
+        yield from self.node.disk.read(int(r_p.size) * self._tb)
+        if r_p.size > self._cap_tuples and depth < self.MAX_RECURSION:
+            # Classic Grace recursion: re-partition both sides on disk and
+            # join the finer bucket pairs (one extra write per level; the
+            # reads happen in the recursive calls).
+            self.recursive_passes += 1
+            yield from self.node.disk.read(int(s_p.size) * self._tb)
+            yield from self.node.disk.write(
+                (int(r_p.size) + int(s_p.size)) * self._tb
+            )
+            yield from self.node.compute_per_tuple(
+                cost.cpu_route_tuple, r_p.size + s_p.size
+            )
+            sub = max(2, -(-int(r_p.size) // self._cap_tuples))
+            r_keys = self.ctx.posmap(r_p) % sub
+            s_keys = self.ctx.posmap(s_p) % sub
+            matches = 0
+            for q in range(sub):
+                r_q = r_p[r_keys == q]
+                if r_q.size == 0:
+                    continue
+                s_q = s_p[s_keys == q]
+                matches += yield from self._join_partition(r_q, s_q, depth + 1)
+            return matches
+        yield from self.node.compute_per_tuple(cost.cpu_insert_tuple, r_p.size)
+        if s_p.size == 0:
+            return 0
+        yield from self.node.disk.read(int(s_p.size) * self._tb)
+        yield from self.node.compute_per_tuple(cost.cpu_probe_tuple, s_p.size)
+        found = match_count(r_p, s_p)
+        yield from self.node.compute_per_tuple(cost.cpu_output_match, found)
+        return found
+
+
+class JoinProcess:
+    """One join node's state machine; drive with ``sim.spawn(proc.run())``."""
+
+    # lifecycle states
+    DORMANT = "dormant"    # in the potential pool, not yet recruited
+    BUILD = "build"        # accepting build tuples
+    CLOSED = "closed"      # replication: full, forwards build traffic
+    PROBE = "probe"
+    DONE = "done"
+
+    def __init__(self, ctx: RunContext, join_index: int, auto_spill: bool = False):
+        self.ctx = ctx
+        self.index = join_index
+        self.node = ctx.join_node(join_index)
+        self.auto_spill = auto_spill  # OOC baseline behaviour
+        self.state = self.DORMANT
+        self.store = NodeHashStore(ctx.posmap)
+        self.spill: Optional[SpillStore] = None
+        self.my_range: Optional[HashRange] = None
+        self.bucket: Optional[int] = None
+        self.successor: Optional[int] = None       # replication forwarding
+        self.shed_chain: list[tuple[ShedPredicate, int]] = []
+        self.parked: deque[DataChunk] = deque()
+        self.pre_activation: deque[DataChunk] = deque()
+        self.full_pending = False
+        self.activated_at: float = float("nan")
+        self.matches = 0
+        self.overcommit_bytes = 0
+        # drain counters (chunks)
+        self.received_build = 0
+        self.processed_build = 0
+        self.emitted_build = 0
+        self.received_probe = 0
+        self.processed_probe = 0
+        #: asynchronous join->join transfers still in flight (drain 'busy')
+        self.transfers_pending = 0
+        #: accumulated wall time of this node's split transfers (Figure 5)
+        self.split_transfer_s = 0.0
+        # --- probe-phase output materialization (footnote 1) ---
+        self.is_output_sink = False
+        self.output_tuples = 0          # pairs materialized in memory
+        self.output_spilled = 0         # pairs spilled to local disk
+        self.output_pending = 0         # pairs awaiting a sink/spill order
+        self.output_sink_node: Optional[int] = None
+        self.output_full_pending = False
+        self._output_spill_mode = False  # pool exhausted: disk from now on
+        self.emitted_probe = 0
+        self._tb = ctx.cfg.workload.tuple_bytes
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Any, Any, None]:
+        while self.state != self.DONE:
+            msg = yield self.node.mailbox.get()
+            yield from self._dispatch(msg)
+
+    def _dispatch(self, msg: Any) -> Generator[Any, Any, None]:
+        if isinstance(msg, DataChunk):
+            if msg.relation == "R":
+                yield from self._on_build_chunk(msg)
+            elif msg.relation == "O":
+                yield from self._on_output_chunk(msg)
+            else:
+                yield from self._on_probe_chunk(msg)
+        elif isinstance(msg, ActivateJoin):
+            yield from self._on_activate(msg)
+        elif isinstance(msg, ReplicateOrder):
+            yield from self._on_replicate_order(msg)
+        elif isinstance(msg, BisectOrder):
+            yield from self._on_bisect_order(msg)
+        elif isinstance(msg, LinearSplitOrder):
+            yield from self._on_linear_split_order(msg)
+        elif isinstance(msg, ReliefPing):
+            yield from self._on_relief_ping(msg)
+        elif isinstance(msg, OutputRedirect):
+            yield from self._on_output_redirect(msg)
+        elif isinstance(msg, SpillOrder):
+            yield from self._on_spill_order(msg)
+        elif isinstance(msg, StatusRequest):
+            yield from self._on_status_request(msg)
+        elif isinstance(msg, StartProbe):
+            yield from self._on_start_probe(msg)
+        elif isinstance(msg, CountRequest):
+            yield from self._on_count_request(msg)
+        elif isinstance(msg, ReshuffleOrder):
+            yield from self._on_reshuffle_order(msg)
+        elif isinstance(msg, FinalizePass):
+            yield from self._on_finalize_pass(msg)
+        elif isinstance(msg, Shutdown):
+            yield from self._on_shutdown(msg)
+        else:
+            raise RuntimeError(f"join{self.index}: unexpected message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def _on_activate(self, msg: ActivateJoin) -> Generator[Any, Any, None]:
+        assert self.state == self.DORMANT, f"join{self.index} double activation"
+        self.my_range = msg.hash_range
+        self.bucket = msg.bucket
+        self.is_output_sink = msg.output_sink
+        self.state = self.PROBE if msg.phase == "probe" else self.BUILD
+        self.activated_at = self.ctx.sim.now
+        self.ctx.trace("activate", f"join{self.index}",
+                       range=str(msg.hash_range), bucket=msg.bucket)
+        if self.auto_spill is False and self.ctx.cfg.algorithm.value == "ooc":
+            # Defensive: the driver wires auto_spill for OOC runs.
+            self.auto_spill = True
+        # Chunks that raced ahead of the activation message.
+        while self.pre_activation:
+            chunk = self.pre_activation.popleft()
+            if chunk.relation == "O":
+                yield from self._materialize_output(chunk.tuples)
+                self.processed_probe += 1
+                self.node.recv_credits.release()
+            else:
+                yield from self._on_build_chunk(chunk, already_counted=True)
+
+    # ------------------------------------------------------------------
+    # build path
+    # ------------------------------------------------------------------
+    def _retire_build_chunk(self) -> None:
+        """Mark one delivered build chunk fully consumed: count it and
+        return its receive-window credit to the senders."""
+        self.processed_build += 1
+        self.node.recv_credits.release()
+
+    def _on_build_chunk(
+        self, chunk: DataChunk, already_counted: bool = False
+    ) -> Generator[Any, Any, None]:
+        if not already_counted:
+            self.received_build += 1
+        if self.state == self.DORMANT:
+            self.pre_activation.append(chunk)
+            return
+        if self.state == self.CLOSED and chunk.hop != Hop.RESHUFFLE:
+            # Replication: a closed node relays build traffic to the node
+            # that replaced it (which may itself relay — chain forwarding).
+            self._spawn_transfer(chunk.values, self.successor, Hop.FORWARD)
+            self._retire_build_chunk()
+            return
+
+        values = yield from self._apply_shed_chain(chunk.values)
+        if values.size == 0:
+            self._retire_build_chunk()
+            return
+        fully = yield from self._insert_or_park(values, force=chunk.hop == Hop.RESHUFFLE)
+        if fully:
+            self._retire_build_chunk()
+        # else: remainder parked; this chunk counts as processed (and its
+        # credit is released) only when the parked remainder is finally
+        # consumed (_reprocess_parked) — which is what throttles senders.
+
+    def _apply_shed_chain(self, values: np.ndarray) -> Generator[Any, Any, np.ndarray]:
+        """Forward any tuples this node has shed; return what remains ours."""
+        for pred, succ in self.shed_chain:
+            if values.size == 0:
+                break
+            mask = pred(self.ctx.posmap(values))
+            if mask.any():
+                out = values[mask]
+                values = values[~mask]
+                yield from self.node.compute_per_tuple(
+                    self.ctx.cost.cpu_repack_tuple, out.size
+                )
+                self._spawn_transfer(out, succ, Hop.FORWARD)
+        return values
+
+    def _insert_or_park(
+        self, values: np.ndarray, force: bool = False
+    ) -> Generator[Any, Any, bool]:
+        """Insert into the table; park what does not fit.  Returns True when
+        everything was consumed (inserted or spilled)."""
+        cost = self.ctx.cost
+        if self.spill is not None:
+            # Overflow mode (OOC / fallback): straight to disk partitions.
+            yield from self.spill.write_r(values)
+            return True
+        need = int(values.size) * self._tb
+        if self.node.memory.try_alloc(need):
+            self.store.insert(values)
+            yield from self.node.compute_per_tuple(cost.cpu_insert_tuple, values.size)
+            return True
+        if force:
+            # Reshuffle landing may slightly exceed the budget when a single
+            # hot position outweighs the ideal cut; the paper's greedy
+            # heuristic has the same property.  Record the overcommit.
+            avail = self.node.memory.available
+            self.node.memory.try_alloc(avail)
+            self.overcommit_bytes += need - avail
+            self.store.insert(values)
+            yield from self.node.compute_per_tuple(cost.cpu_insert_tuple, values.size)
+            return True
+        fit = self.node.memory.available // self._tb
+        if fit > 0:
+            self.node.memory.alloc(fit * self._tb)
+            self.store.insert(values[:fit])
+            yield from self.node.compute_per_tuple(cost.cpu_insert_tuple, fit)
+            values = values[fit:]
+        if self.auto_spill:
+            # OOC baseline — the paper's *basic* out-of-core algorithm
+            # (§2): on overflow the whole partition goes to disk bucket
+            # files, including what was already inserted in memory, and the
+            # join is performed out of core per bucket pair.
+            self.spill = SpillStore(self.ctx, self.index, hash_range=self.my_range)
+            self.ctx.trace("spill_start", f"join{self.index}",
+                           dumped=self.store.stored_tuples)
+            dumped = self.store.extract_position_range(0, self.ctx.cfg.hash_positions)
+            if dumped.size:
+                self.node.memory.free(int(dumped.size) * self._tb)
+                yield from self.spill.write_r(dumped)
+            yield from self.spill.write_r(values)
+            return True
+        self.parked.append(DataChunk("R", values, self._tb, hop=Hop.FORWARD))
+        if not self.full_pending:
+            self.full_pending = True
+            self.ctx.trace("memory_full", f"join{self.index}",
+                           stored=self.store.stored_tuples)
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node, MemoryFull(self.index)
+            )
+        return False
+
+    def _reprocess_parked(self) -> Generator[Any, Any, bool]:
+        """Retry parked chunks after a relief action; True if still stuck."""
+        while self.parked:
+            chunk = self.parked.popleft()
+            if self.state == self.CLOSED:
+                self._spawn_transfer(chunk.values, self.successor, Hop.FORWARD)
+                self._retire_build_chunk()
+                continue
+            values = yield from self._apply_shed_chain(chunk.values)
+            if values.size == 0:
+                self._retire_build_chunk()
+                continue
+            fully = yield from self._insert_or_park_retry(values)
+            if fully:
+                self._retire_build_chunk()
+            else:
+                return True  # parked again; stop retrying
+        return False
+
+    def _insert_or_park_retry(self, values: np.ndarray) -> Generator[Any, Any, bool]:
+        """Like _insert_or_park but never re-sends MemoryFull (the caller
+        reports still_full through its ReliefAck instead)."""
+        cost = self.ctx.cost
+        if self.spill is not None:
+            yield from self.spill.write_r(values)
+            return True
+        need = int(values.size) * self._tb
+        if self.node.memory.try_alloc(need):
+            self.store.insert(values)
+            yield from self.node.compute_per_tuple(cost.cpu_insert_tuple, values.size)
+            return True
+        fit = self.node.memory.available // self._tb
+        if fit > 0:
+            self.node.memory.alloc(fit * self._tb)
+            self.store.insert(values[:fit])
+            yield from self.node.compute_per_tuple(cost.cpu_insert_tuple, fit)
+            values = values[fit:]
+        self.parked.appendleft(DataChunk("R", values, self._tb, hop=Hop.FORWARD))
+        return False
+
+    def _spawn_transfer(self, values: np.ndarray, dest: Optional[int], hop: str) -> None:
+        """Ship ``values`` to another join node asynchronously.
+
+        Transfers must not block the main message loop: a relief ack that
+        waited for a jammed downstream node would deadlock the scheduler's
+        serialized relief queue (the downstream node's own relief would be
+        stuck behind ours).  ``transfers_pending`` keeps the drain protocol
+        honest while data sits in an unsent transfer.
+        """
+        assert dest is not None and dest != self.index, (
+            f"join{self.index}: bad forward destination {dest}"
+        )
+        if values.size == 0:
+            return
+        self.transfers_pending += 1
+        self.ctx.sim.spawn(
+            self._run_transfer(values, dest, hop),
+            name=f"xfer:join{self.index}->join{dest}",
+        )
+
+    def _run_transfer(
+        self, values: np.ndarray, dest: int, hop: str
+    ) -> Generator[Any, Any, None]:
+        t0 = self.ctx.sim.now
+        serialized = hop == Hop.SPLIT
+        if serialized:
+            # Barrier split pointer: one split transfer on the wire at a
+            # time (the paper's 'done' message gates the next split).
+            yield self.ctx.split_transfer_token.acquire()
+        try:
+            chunk_tuples = self.ctx.cfg.workload.real_chunk_tuples
+            for off in range(0, int(values.size), chunk_tuples):
+                part = values[off: off + chunk_tuples]
+                self.emitted_build += 1
+                yield from self.ctx.send(
+                    self.node,
+                    self.ctx.join_node(dest),
+                    DataChunk("R", part, self._tb, hop=hop, origin=self.node.node_id),
+                )
+        finally:
+            if serialized:
+                self.ctx.split_transfer_token.release()
+            self.transfers_pending -= 1
+            if hop == Hop.SPLIT:
+                self.split_transfer_s += self.ctx.sim.now - t0
+
+    # ------------------------------------------------------------------
+    # relief orders
+    # ------------------------------------------------------------------
+    def _on_replicate_order(self, msg: ReplicateOrder) -> Generator[Any, Any, None]:
+        assert self.state in (self.BUILD,), "replicate order in wrong state"
+        self.successor = msg.new_node
+        self.state = self.CLOSED
+        self.ctx.trace("replicate", f"join{self.index}", new_node=msg.new_node)
+        still_full = yield from self._reprocess_parked()  # forwards everything
+        assert not still_full and not self.parked
+        self.full_pending = False
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            ReliefAck(self.index, still_full=False),
+        )
+
+    def _on_bisect_order(self, msg: BisectOrder) -> Generator[Any, Any, None]:
+        assert self.my_range is not None and self.my_range.contains(msg.mid)
+        old = self.my_range
+        self.my_range = HashRange(old.lo, msg.mid)
+        mid, hi, new_node = msg.mid, old.hi, msg.new_node
+        moved = self.store.extract_position_range(mid, hi)
+        if moved.size:
+            self.node.memory.free(int(moved.size) * self._tb)
+            yield from self.node.compute_per_tuple(
+                self.ctx.cost.cpu_repack_tuple, moved.size
+            )
+        self.shed_chain.append(
+            (lambda pos, m=mid: pos >= m, new_node)
+        )
+        self.ctx.trace("bisect", f"join{self.index}", mid=mid,
+                       new_node=new_node, moved=int(moved.size))
+        self._spawn_transfer(moved, new_node, Hop.SPLIT)
+        still_full = yield from self._reprocess_parked()
+        self.full_pending = still_full
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            ReliefAck(self.index, still_full=still_full,
+                      moved_tuples=int(moved.size)),
+        )
+
+    def _on_linear_split_order(self, msg: LinearSplitOrder) -> Generator[Any, Any, None]:
+        moved = self.store.extract_linear_bucket(msg.new_bucket, msg.modulus)
+        if moved.size:
+            self.node.memory.free(int(moved.size) * self._tb)
+            yield from self.node.compute_per_tuple(
+                self.ctx.cost.cpu_repack_tuple, moved.size
+            )
+        self.shed_chain.append(
+            (
+                lambda pos, nb=msg.new_bucket, m=msg.modulus: pos % (2 * m) == nb,
+                msg.new_node,
+            )
+        )
+        self.ctx.trace("linear_split", f"join{self.index}",
+                       new_bucket=msg.new_bucket, new_node=msg.new_node,
+                       moved=int(moved.size))
+        self._spawn_transfer(moved, msg.new_node, Hop.SPLIT)
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            SplitDone(self.index, moved_tuples=int(moved.size)),
+        )
+
+    def _on_relief_ping(self, msg: ReliefPing) -> Generator[Any, Any, None]:
+        still_full = yield from self._reprocess_parked()
+        self.full_pending = still_full
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            ReliefAck(self.index, still_full=still_full),
+        )
+
+    def _on_spill_order(self, msg: SpillOrder) -> Generator[Any, Any, None]:
+        if self.state == self.PROBE:
+            # Probe-phase fallback: the output pool is exhausted too —
+            # dump pending pairs to disk and keep spilling from now on.
+            pending, self.output_pending = self.output_pending, 0
+            self.output_spilled += pending
+            self.output_full_pending = False
+            # route future overflow straight to disk
+            self.output_sink_node = None
+            self._output_spill_mode = True
+            if pending:
+                yield from self.node.disk.write(
+                    pending * self.ctx.cfg.output_pair_bytes
+                )
+            self.ctx.trace("output_spill_fallback", f"join{self.index}",
+                           pending=pending)
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node,
+                ReliefAck(self.index, still_full=False),
+            )
+            return
+        if self.spill is None:
+            self.spill = SpillStore(self.ctx, self.index, hash_range=self.my_range)
+            self.ctx.trace("spill_fallback", f"join{self.index}")
+        still_full = yield from self._reprocess_parked()
+        assert not still_full, "spill mode consumes everything"
+        self.full_pending = False
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            ReliefAck(self.index, still_full=False),
+        )
+
+    # ------------------------------------------------------------------
+    # drain polling
+    # ------------------------------------------------------------------
+    def _on_status_request(self, msg: StatusRequest) -> Generator[Any, Any, None]:
+        report = StatusReport(
+            node=self.index,
+            token=msg.token,
+            received_build=self.received_build,
+            processed_build=self.processed_build,
+            emitted_build=self.emitted_build,
+            received_probe=self.received_probe,
+            processed_probe=self.processed_probe,
+            busy=bool(self.parked) or self.full_pending
+                 or self.output_full_pending
+                 or self.transfers_pending > 0,
+            emitted_probe=self.emitted_probe,
+        )
+        yield from self.ctx.send(self.node, self.ctx.scheduler_node, report)
+
+    # ------------------------------------------------------------------
+    # reshuffle (hybrid)
+    # ------------------------------------------------------------------
+    def _on_count_request(self, msg: CountRequest) -> Generator[Any, Any, None]:
+        counts = self.store.position_counts(msg.lo, msg.hi)
+        yield from self.node.compute_per_tuple(
+            self.ctx.cost.cpu_route_tuple, self.store.stored_tuples
+        )
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            CountVector(self.index, msg.lo, msg.hi, counts,
+                        wire_scale=self.ctx.cfg.workload.scale),
+        )
+
+    def _on_reshuffle_order(self, msg: ReshuffleOrder) -> Generator[Any, Any, None]:
+        # Re-open: a CLOSED replica participates in redistribution.
+        self.state = self.BUILD
+        self.successor = None
+        moved_total = 0
+        for dest, rng in msg.assignments:
+            if dest == self.index:
+                self.my_range = rng
+                continue
+            if rng is None:
+                continue
+            out = self.store.extract_position_range(rng.lo, rng.hi)
+            if out.size:
+                self.node.memory.free(int(out.size) * self._tb)
+                yield from self.node.compute_per_tuple(
+                    self.ctx.cost.cpu_repack_tuple, out.size
+                )
+                moved_total += int(out.size)
+                self._spawn_transfer(out, dest, Hop.RESHUFFLE)
+        self.ctx.trace("reshuffle", f"join{self.index}", moved=moved_total,
+                       new_range=str(self.my_range))
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            ReshuffleDone(self.index, moved_tuples=moved_total),
+        )
+
+    # ------------------------------------------------------------------
+    # probe path
+    # ------------------------------------------------------------------
+    def _on_start_probe(self, msg: StartProbe) -> Generator[Any, Any, None]:
+        if self.state == self.PROBE:
+            return  # an eager S chunk already flipped us (see below)
+        assert not self.parked and not self.full_pending, (
+            f"join{self.index} entered probe with parked build data"
+        )
+        self.state = self.PROBE
+        # One consolidation/sort pass over the stored table.
+        yield from self.node.compute_per_tuple(
+            self.ctx.cost.cpu_repack_tuple, self.store.stored_tuples
+        )
+        self.store.finalize()
+
+    def _on_probe_chunk(self, chunk: DataChunk) -> Generator[Any, Any, None]:
+        self.received_probe += 1
+        if self.state != self.PROBE:
+            # Defensive: the scheduler flips join nodes before the sources,
+            # but if an S chunk ever outruns StartProbe, switch lazily.
+            yield from self._on_start_probe(StartProbe())
+        cost = self.ctx.cost
+        yield from self.node.compute_per_tuple(cost.cpu_probe_tuple, chunk.values.size)
+        found = self.store.probe(chunk.values)
+        if found:
+            yield from self.node.compute_per_tuple(cost.cpu_output_match, found)
+        self.matches += found
+        if found and self.ctx.cfg.materialize_output:
+            yield from self._materialize_output(found)
+        if self.spill is not None:
+            yield from self.spill.write_s(chunk.values)
+        self.processed_probe += 1
+        self.node.recv_credits.release()
+
+    # ------------------------------------------------------------------
+    # output materialization & probe-phase expansion (footnote 1)
+    # ------------------------------------------------------------------
+    def _materialize_output(self, pairs: int) -> Generator[Any, Any, None]:
+        """Keep ``pairs`` output tuples: in memory, at the sink, or on disk."""
+        cfg = self.ctx.cfg
+        if self.output_sink_node is not None:
+            self._spawn_output_transfer(pairs, self.output_sink_node)
+            return
+        need = pairs * cfg.output_pair_bytes
+        if self.node.memory.try_alloc(need):
+            self.output_tuples += pairs
+            return
+        fit = self.node.memory.available // cfg.output_pair_bytes
+        if fit > 0:
+            self.node.memory.alloc(fit * cfg.output_pair_bytes)
+            self.output_tuples += fit
+            pairs -= fit
+        if not cfg.probe_expansion or self._output_spill_mode:
+            # Paper's default assumption: overflow output goes to disk.
+            self.output_spilled += pairs
+            yield from self.node.disk.write(pairs * cfg.output_pair_bytes)
+            return
+        self.output_pending += pairs
+        if not self.output_full_pending:
+            self.output_full_pending = True
+            self.ctx.trace("output_full", f"join{self.index}",
+                           materialized=self.output_tuples)
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node, MemoryFull(self.index)
+            )
+
+    def _spawn_output_transfer(self, pairs: int, dest: int) -> None:
+        """Ship materialized pairs to the output sink asynchronously."""
+        self.transfers_pending += 1
+        self.ctx.sim.spawn(
+            self._run_output_transfer(pairs, dest),
+            name=f"out:join{self.index}->join{dest}",
+        )
+
+    def _run_output_transfer(self, pairs: int, dest: int) -> Generator[Any, Any, None]:
+        cfg = self.ctx.cfg
+        try:
+            chunk_pairs = cfg.workload.real_chunk_tuples
+            import numpy as _np
+
+            while pairs > 0:
+                n = min(pairs, chunk_pairs)
+                pairs -= n
+                self.emitted_probe += 1
+                yield from self.ctx.send(
+                    self.node,
+                    self.ctx.join_node(dest),
+                    DataChunk("O", _np.zeros(n, dtype=_np.uint64),
+                              cfg.output_pair_bytes, hop=Hop.OUTPUT,
+                              origin=self.node.node_id),
+                )
+        finally:
+            self.transfers_pending -= 1
+
+    def _on_output_chunk(self, chunk: DataChunk) -> Generator[Any, Any, None]:
+        """An output sink absorbing materialized pairs (it may itself
+        overflow and chain-expand, exactly like the build-phase chains)."""
+        self.received_probe += 1
+        if self.state == self.DORMANT:
+            # Raced ahead of our ActivateJoin; replay on activation.
+            self.pre_activation.append(chunk)
+            return
+        yield from self._materialize_output(chunk.tuples)
+        self.processed_probe += 1
+        self.node.recv_credits.release()
+
+    def _on_output_redirect(self, msg: OutputRedirect) -> Generator[Any, Any, None]:
+        self.output_sink_node = msg.new_node
+        pending, self.output_pending = self.output_pending, 0
+        self.output_full_pending = False
+        self.ctx.trace("output_redirect", f"join{self.index}",
+                       sink=msg.new_node, pending=pending)
+        if pending:
+            self._spawn_output_transfer(pending, msg.new_node)
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            ReliefAck(self.index, still_full=False),
+        )
+
+    # ------------------------------------------------------------------
+    # OOC final passes & shutdown
+    # ------------------------------------------------------------------
+    def _on_finalize_pass(self, msg: FinalizePass) -> Generator[Any, Any, None]:
+        if self.spill is not None:
+            found = yield from self.spill.final_passes()
+            self.matches += found
+            if found and self.ctx.cfg.materialize_output:
+                # Pairs produced by the disk passes go straight to the
+                # local output file — the pass is already disk-bound.
+                self.output_spilled += found
+                yield from self.node.disk.write(
+                    found * self.ctx.cfg.output_pair_bytes
+                )
+            self.ctx.trace("ooc_pass", f"join{self.index}", matches=found)
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node, PassDone(self.index)
+        )
+
+    def _on_shutdown(self, msg: Shutdown) -> Generator[Any, Any, None]:
+        if self.state != self.DORMANT:
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node,
+                FinalReport(
+                    node=self.index,
+                    stored_tuples=self.store.stored_tuples,
+                    matches=self.matches,
+                    peak_memory=self.node.memory.peak,
+                    overcommit_bytes=self.overcommit_bytes,
+                    spilled_r_tuples=self.spill.spilled_r if self.spill else 0,
+                    spilled_s_tuples=self.spill.spilled_s if self.spill else 0,
+                    activated_at=self.activated_at,
+                    split_transfer_s=self.split_transfer_s,
+                    output_tuples=self.output_tuples,
+                    output_spilled_tuples=self.output_spilled,
+                    is_output_sink=self.is_output_sink,
+                ),
+            )
+        self.state = self.DONE

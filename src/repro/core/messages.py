@@ -1,0 +1,372 @@
+"""Typed protocol messages exchanged by scheduler, sources and join nodes.
+
+Every message reports ``nbytes`` (what the network charges) and ``kind``
+(used for traffic accounting and byte-conservation checks).  Data chunks
+carry real NumPy arrays of join-attribute values; control messages are
+charged the cost model's fixed control size.
+
+``hop`` on a data chunk records *why* the chunk crossed the wire, which is
+how the benchmarks reconstruct the paper's "extra communication volume"
+(Figures 4 and 11): anything that is not a ``primary``/``probe`` hop is
+extra work caused by the expansion strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..config import CostModel
+from ..hashing import HashRange, LinearHashRouter, RangeRouter, Router
+
+__all__ = [
+    "CONTROL_BYTES",
+    "Hop",
+    "DataChunk",
+    "ActivateJoin",
+    "RouteUpdate",
+    "MemoryFull",
+    "ReplicateOrder",
+    "BisectOrder",
+    "LinearSplitOrder",
+    "SplitDone",
+    "ReliefPing",
+    "ReliefAck",
+    "SpillOrder",
+    "SourceDone",
+    "StatusRequest",
+    "StatusReport",
+    "StartProbe",
+    "CountRequest",
+    "CountVector",
+    "ReshuffleOrder",
+    "ReshuffleDone",
+    "FinalizePass",
+    "PassDone",
+    "Shutdown",
+    "FinalReport",
+    "PollTick",
+]
+
+#: default control-plane size; kept in sync with CostModel.control_msg_bytes
+CONTROL_BYTES = CostModel().control_msg_bytes
+
+
+class Hop:
+    """Why a data chunk crossed the network (comm-volume accounting)."""
+
+    PRIMARY = "primary"      # source -> join node, first delivery (build)
+    FORWARD = "forward"      # join -> join: pending-buffer forwarding
+    SPLIT = "split"          # join -> join: split transfer
+    RESHUFFLE = "reshuffle"  # join -> join: hybrid reshuffle move
+    PROBE = "probe"          # source -> join, probe, single/first copy
+    PROBE_DUP = "probe_dup"  # source -> join, probe, extra replica copies
+    OUTPUT = "output"        # join -> output sink: materialized pairs
+
+    BUILD_EXTRA = (FORWARD, SPLIT, RESHUFFLE)
+    ALL = (PRIMARY, FORWARD, SPLIT, RESHUFFLE, PROBE, PROBE_DUP, OUTPUT)
+
+
+class _Control:
+    """Base for fixed-size control messages."""
+
+    kind = "control"
+
+    @property
+    def nbytes(self) -> int:
+        return CONTROL_BYTES
+
+
+@dataclass
+class DataChunk:
+    """A buffered batch of tuples of one relation."""
+
+    relation: str                   # "R" (build) or "S" (probe)
+    values: np.ndarray              # uint64 join attributes
+    tuple_bytes: int                # full logical tuple size
+    hop: str = Hop.PRIMARY
+    origin: int = -1                # sending actor id (diagnostics)
+    version: int = 0                # router version used to route this chunk
+
+    kind = "data"
+
+    def __post_init__(self) -> None:
+        # "O" carries materialized output pairs to an output sink.
+        if self.relation not in ("R", "S", "O"):
+            raise ValueError(f"bad relation {self.relation!r}")
+        if self.hop not in Hop.ALL:
+            raise ValueError(f"bad hop {self.hop!r}")
+
+    @property
+    def tuples(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def nbytes(self) -> int:
+        return self.tuples * self.tuple_bytes
+
+
+# ----------------------------------------------------------------------
+# scheduler -> join nodes
+# ----------------------------------------------------------------------
+@dataclass
+class ActivateJoin(_Control):
+    """Recruit a join node (initial assignment or expansion).
+
+    Exactly one of ``hash_range`` / ``bucket`` is set: contiguous-range
+    ownership (replicate/hybrid/bisect/OOC) or a linear-hash bucket id.
+    """
+
+    join_index: int
+    hash_range: Optional[HashRange] = None
+    bucket: Optional[int] = None
+    phase: str = "build"
+    #: recruited as a probe-phase output sink (footnote 1), not a bucket
+    output_sink: bool = False
+
+
+@dataclass
+class ReplicateOrder(_Control):
+    """To a full node: your range is replicated on ``new_node``; forward all
+    pending and future build chunks there and stop storing (paper §4.2.2)."""
+
+    new_node: int
+
+
+@dataclass
+class BisectOrder(_Control):
+    """To a full node: keep ``[lo, mid)``, ship positions >= ``mid`` to
+    ``new_node`` (split-based algorithm, TARGETED_BISECT policy)."""
+
+    mid: int
+    new_node: int
+
+
+@dataclass
+class LinearSplitOrder(_Control):
+    """To the owner of the bucket at the split pointer: rehash your bucket
+    with h_{i+1}, ship tuples addressing ``new_bucket`` to ``new_node``
+    (split-based algorithm, LINEAR_POINTER policy, §4.2.1)."""
+
+    new_bucket: int
+    modulus: int
+    new_node: int
+
+
+@dataclass
+class ReliefPing(_Control):
+    """To a node that reported MemoryFull: retry your parked chunks now."""
+
+
+@dataclass
+class OutputRedirect(_Control):
+    """Probe-phase expansion (paper footnote 1): forward your pending and
+    future materialized output pairs to the freshly recruited sink."""
+
+    new_node: int
+
+
+@dataclass
+class SpillOrder(_Control):
+    """To a full node when the potential pool is exhausted: degrade to
+    out-of-core spilling for your range (documented fallback)."""
+
+
+@dataclass
+class StartProbe(_Control):
+    """Phase switch.  ``router`` is the final probe routing (sources);
+    join nodes receive it with ``router=None`` as a finalize signal."""
+
+    router: Optional[Router] = None
+
+    @property
+    def nbytes(self) -> int:
+        return CONTROL_BYTES + (self.router.wire_bytes() if self.router else 0)
+
+
+@dataclass
+class CountRequest(_Control):
+    """Hybrid reshuffle: report per-position tuple counts over [lo, hi)."""
+
+    lo: int
+    hi: int
+
+
+@dataclass
+class ReshuffleOrder(_Control):
+    """Hybrid reshuffle: the group's new contiguous assignment.
+
+    ``assignments`` maps member node -> its new subrange (or None when the
+    greedy cut gave it a zero-width slice).  The receiver keeps tuples in
+    its own slice and ships every other slice to its new owner.
+    """
+
+    assignments: tuple[tuple[int, Optional[HashRange]], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return CONTROL_BYTES + 20 * len(self.assignments)
+
+
+@dataclass
+class FinalizePass(_Control):
+    """OOC: run the out-of-core bucket passes now (probe stream drained)."""
+
+
+@dataclass
+class StatusRequest(_Control):
+    """Drain polling: report your counters (token echoes back)."""
+
+    token: int
+
+
+@dataclass
+class Shutdown(_Control):
+    """Terminate after replying with a FinalReport (join nodes) or
+    immediately (sources, ticker)."""
+
+
+# ----------------------------------------------------------------------
+# scheduler -> sources
+# ----------------------------------------------------------------------
+@dataclass
+class RouteUpdate:
+    """New routing table for the data sources."""
+
+    router: Router
+    phase: str = "build"
+
+    kind = "control"
+
+    @property
+    def nbytes(self) -> int:
+        return self.router.wire_bytes()
+
+
+# ----------------------------------------------------------------------
+# join nodes -> scheduler
+# ----------------------------------------------------------------------
+@dataclass
+class MemoryFull(_Control):
+    """A join node's bucket memory is exhausted (paper's trigger event)."""
+
+    node: int
+
+
+@dataclass
+class SplitDone(_Control):
+    """Linear split finished; ``moved_tuples`` went to the new bucket."""
+
+    node: int
+    moved_tuples: int
+
+
+@dataclass
+class ReliefAck(_Control):
+    """Response to a relief action (ReplicateOrder/BisectOrder/ReliefPing/
+    SpillOrder): parked data reprocessed; ``still_full`` asks for more."""
+
+    node: int
+    still_full: bool
+    moved_tuples: int = 0
+
+
+@dataclass
+class StatusReport(_Control):
+    """Drain-poll response: cumulative per-phase chunk counters."""
+
+    node: int
+    token: int
+    received_build: int
+    processed_build: int
+    emitted_build: int
+    received_probe: int
+    processed_probe: int
+    busy: bool
+    emitted_probe: int = 0
+
+
+@dataclass
+class CountVector:
+    """Per-position tuple counts for the reshuffle step.
+
+    The wire size is co-scaled with the workload (``wire_scale``): count
+    vectors are proportional to the *fixed* hash-table resolution, so at a
+    reduced workload scale their full-resolution size would be over-weighted
+    relative to the data traffic (see CostModel.scaled)."""
+
+    node: int
+    lo: int
+    hi: int
+    counts: np.ndarray
+    wire_scale: float = 1.0
+
+    kind = "counts"
+
+    @property
+    def nbytes(self) -> int:
+        return 32 + int(8 * self.counts.size * self.wire_scale)
+
+
+@dataclass
+class ReshuffleDone(_Control):
+    node: int
+    moved_tuples: int
+
+
+@dataclass
+class PassDone(_Control):
+    """OOC final passes finished on this node."""
+
+    node: int
+
+
+@dataclass
+class FinalReport(_Control):
+    """End-of-run statistics from one join node."""
+
+    node: int
+    stored_tuples: int
+    matches: int
+    peak_memory: int
+    overcommit_bytes: int
+    spilled_r_tuples: int
+    spilled_s_tuples: int
+    activated_at: float
+    split_transfer_s: float = 0.0
+    output_tuples: int = 0
+    output_spilled_tuples: int = 0
+    is_output_sink: bool = False
+
+
+# ----------------------------------------------------------------------
+# sources -> scheduler
+# ----------------------------------------------------------------------
+@dataclass
+class SourceDone(_Control):
+    """A source finished streaming one relation.
+
+    ``chunks_sent``/``tuples_sent`` are per-destination totals for that
+    relation (the drain protocol's ground truth).
+    """
+
+    source: int
+    relation: str
+    chunks_sent: dict[int, int] = field(default_factory=dict)
+    tuples_sent: dict[int, int] = field(default_factory=dict)
+    dup_tuples: int = 0  # probe-phase replica copies beyond the first
+
+
+# ----------------------------------------------------------------------
+# local (non-network) messages
+# ----------------------------------------------------------------------
+@dataclass
+class PollTick:
+    """Timer tick the drain ticker drops into the scheduler mailbox.
+
+    Never crosses the network (the ticker runs on the scheduler node)."""
+
+    kind = "tick"
+    nbytes = 0

@@ -1,0 +1,59 @@
+"""Replication-based expansion (paper §4.2.2).
+
+When a join node's bucket overflows, its hash-table range is **replicated**
+on a freshly recruited node: the full node stops receiving build tuples
+(forwarding anything pending), the data sources redirect the range's
+remaining build traffic to the replica.  No stored tuple ever moves, so the
+build phase stays cheap — but every probe tuple whose hash falls in a
+replicated range must be broadcast to the entire replica chain, which is
+the strategy's probe-phase cost (handled by ``RangeRouter.partition_probe``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..hashing import RangeRouter, Router, partition_positions
+from .messages import ActivateJoin, ReliefAck, ReplicateOrder, RouteUpdate
+from .strategy import ExpansionStrategy
+
+__all__ = ["ReplicationStrategy"]
+
+
+class ReplicationStrategy(ExpansionStrategy):
+    """Replicate the overflowing range on the new node."""
+
+    def make_initial_router(self, initial: list[int]) -> Router:
+        ranges = partition_positions(self.sched.cfg.hash_positions, len(initial))
+        return RangeRouter.initial(ranges, initial, self.sched.cfg.hash_positions)
+
+    def expand(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        sched = self.sched
+        new_node = sched.alloc_node()
+        if new_node is None:
+            return (yield from self.fallback_spill(reporter))
+
+        router: RangeRouter = sched.router  # type: ignore[assignment]
+        idx = _entry_of_active(router, reporter)
+        rng, _chain = router.entries[idx]
+
+        # Recruit the replica with the same hash range, then tell the full
+        # node to forward its pending buffers and close.
+        yield from sched.send_to_join(
+            new_node, ActivateJoin(new_node, hash_range=rng)
+        )
+        sched.router = router.with_replica(idx, new_node, sched.next_version())
+        yield from sched.send_to_join(reporter, ReplicateOrder(new_node=new_node))
+        yield from sched.broadcast_to_sources(RouteUpdate(sched.router))
+        sched.mark_full(reporter)
+        sched.ctx.trace("expand_replicate", "scheduler",
+                        reporter=reporter, new_node=new_node, range=str(rng))
+        return (yield from sched.await_relief_ack(reporter))
+
+
+def _entry_of_active(router: RangeRouter, node: int) -> int:
+    """Index of the entry whose *active* (newest) replica is ``node``."""
+    for i, (_rng, chain) in enumerate(router.entries):
+        if chain[-1] == node:
+            return i
+    raise LookupError(f"node {node} is not an active replica of any range")

@@ -1,0 +1,505 @@
+"""The scheduler actor (paper §4.1.1).
+
+Coordinates the whole join: activates the initial join nodes, answers
+memory-full reports by running the configured expansion strategy (one
+relief cycle at a time — the generalization of the paper's barrier split
+pointer), synchronizes the phase transitions (build -> [reshuffle] ->
+probe -> [OOC passes] -> shutdown), and detects phase completion with a
+counting drain protocol:
+
+    a phase's data flow is drained when, over two consecutive polling
+    rounds, every counter is unchanged AND
+        chunks sent by sources + chunks emitted by join nodes
+            == chunks received == chunks processed
+    AND no node is busy, no relief is pending and no split is in flight.
+
+Any message still on the wire leaves the sums unequal (it was counted by
+its sender's report but not its receiver's), and any message sent after a
+node's report changes that node's counters by the next round — so two
+identical balanced rounds imply an empty network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..hashing import RangeRouter, Router, partition_range_by_counts
+from .context import RunContext
+from .messages import (
+    ActivateJoin,
+    CountRequest,
+    CountVector,
+    FinalReport,
+    FinalizePass,
+    MemoryFull,
+    OutputRedirect,
+    PassDone,
+    PollTick,
+    ReliefAck,
+    ReliefPing,
+    ReshuffleDone,
+    SpillOrder,
+    ReshuffleOrder,
+    RouteUpdate,
+    Shutdown,
+    SourceDone,
+    SplitDone,
+    StartProbe,
+    StatusReport,
+    StatusRequest,
+)
+from .strategy import make_strategy
+
+__all__ = ["SchedulerProcess", "SchedulerOutcome"]
+
+
+@dataclass
+class SchedulerOutcome:
+    """Raw facts the driver turns into a JoinRunResult."""
+
+    t_build: float = 0.0
+    t_reshuffle: float = 0.0
+    t_probe: float = 0.0
+    t_ooc: float = 0.0
+    n_splits: int = 0
+    split_moved_tuples: int = 0
+    split_busy_s: float = 0.0
+    reshuffle_moved_tuples: int = 0
+    expansion_trace: list[tuple[float, int]] = field(default_factory=list)
+    final_reports: dict[int, FinalReport] = field(default_factory=dict)
+    probe_dup_tuples: int = 0
+    activated: list[int] = field(default_factory=list)
+
+
+class _StopFlag:
+    """Shared stop signal for the drain ticker."""
+
+    def __init__(self) -> None:
+        self.stopped = False
+
+
+class SchedulerProcess:
+    """Drive with ``sim.spawn(proc.run())``; outcome in ``proc.outcome``."""
+
+    def __init__(self, ctx: RunContext):
+        self.ctx = ctx
+        self.cfg = ctx.cfg
+        self.node = ctx.scheduler_node
+        self.outcome = SchedulerOutcome()
+        self.strategy = make_strategy(self, self.cfg)
+
+        # node pools (paper: working / full / potential join nodes)
+        self.working: list[int] = list(range(self.cfg.initial_nodes))
+        self.full_nodes: list[int] = []
+        self.potential: list[int] = list(
+            range(self.cfg.initial_nodes, ctx.n_potential)
+        )
+        self.activated: list[int] = list(self.working)
+
+        self.router: Router = self.strategy.make_initial_router(list(self.working))
+        self._version = 0
+
+        # relief machinery
+        self.full_queue: deque[int] = deque()
+        self.relief_active = False
+        #: nodes degraded to disk spilling (pool exhausted / atomic range)
+        self.spilled_nodes: set[int] = set()
+
+        # source bookkeeping
+        self._source_done: dict[str, set[int]] = {"R": set(), "S": set()}
+        self._source_chunks: dict[str, int] = {"R": 0, "S": 0}
+
+        # drain polling
+        self._poll_token = 0
+        self._round_reports: dict[int, StatusReport] = {}
+        self._round_nodes: tuple[int, ...] = ()
+        self._prev_round: Optional[dict[int, tuple]] = None
+        self._drained = False
+        self._phase = "build"
+        self._ticker_flag = _StopFlag()
+
+    # ------------------------------------------------------------------
+    # helpers used by strategies
+    # ------------------------------------------------------------------
+    def next_version(self) -> int:
+        self._version += 1
+        return self._version
+
+    def alloc_node(self) -> Optional[int]:
+        """Recruit the potential node with the most available memory
+        (paper's selection rule); ties broken by lowest pool index."""
+        if not self.potential:
+            return None
+        spec = self.ctx.cfg.effective_cluster
+        best = max(self.potential, key=lambda j: (spec.memory_of(j), -j))
+        self.potential.remove(best)
+        self.working.append(best)
+        self.activated.append(best)
+        self.outcome.expansion_trace.append((self.ctx.sim.now, best))
+        return best
+
+    def mark_full(self, node: int) -> None:
+        """Move a node from the working to the full list (replication)."""
+        if node in self.working:
+            self.working.remove(node)
+        if node not in self.full_nodes:
+            self.full_nodes.append(node)
+
+    def record_split(self, moved: int, busy: float) -> None:
+        self.outcome.n_splits += 1
+        self.outcome.split_moved_tuples += moved
+        self.outcome.split_busy_s += busy
+
+    def send_to_join(self, j: int, msg: Any) -> Generator[Any, Any, None]:
+        yield from self.ctx.send(self.node, self.ctx.join_node(j), msg)
+
+    def broadcast_to_sources(self, msg: Any) -> Generator[Any, Any, None]:
+        for s in range(self.ctx.n_sources):
+            yield from self.ctx.send(self.node, self.ctx.source_node(s), msg)
+
+    # ------------------------------------------------------------------
+    # message waiting with background dispatch
+    # ------------------------------------------------------------------
+    def await_message(self, match: Callable[[Any], bool]) -> Generator[Any, Any, Any]:
+        """Wait for a message satisfying ``match``; everything else goes
+        through the common dispatcher (so relief cycles never starve the
+        rest of the protocol)."""
+        while True:
+            msg = yield self.node.mailbox.get()
+            if match(msg):
+                return msg
+            self._dispatch_common(msg)
+
+    def await_relief_ack(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        return (
+            yield from self.await_message(
+                lambda m: isinstance(m, ReliefAck) and m.node == reporter
+            )
+        )
+
+    def _dispatch_common(self, msg: Any) -> None:
+        """Messages that may arrive at any time, handled statelessly."""
+        if isinstance(msg, MemoryFull):
+            self.full_queue.append(msg.node)
+            self._prev_round = None
+        elif isinstance(msg, SourceDone):
+            self._source_done[msg.relation].add(msg.source)
+            self._source_chunks[msg.relation] += sum(msg.chunks_sent.values())
+            if msg.relation == "S":
+                self.outcome.probe_dup_tuples += msg.dup_tuples
+        elif isinstance(msg, StatusReport):
+            # Reports may land while a relief cycle holds the main loop —
+            # still collect them, or the in-flight poll round would never
+            # complete and polling would stop for good.  The stability
+            # evaluation re-checks relief/queue state before declaring a
+            # phase drained.
+            self._collect_report(msg)
+        elif isinstance(msg, PollTick):
+            pass  # ticks are only meaningful to an idle phase loop
+        else:
+            raise RuntimeError(f"scheduler: unexpected message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # main run
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Any, Any, SchedulerOutcome]:
+        ctx = self.ctx
+        # Activate the initial working join nodes.
+        if isinstance(self.router, RangeRouter):
+            for rng, chain in self.router.entries:
+                yield from self.send_to_join(
+                    chain[0], ActivateJoin(chain[0], hash_range=rng)
+                )
+        else:  # linear hashing: one bucket per initial node
+            for b, j in enumerate(self.router.bucket_nodes):  # type: ignore[attr-defined]
+                yield from self.send_to_join(j, ActivateJoin(j, bucket=b))
+
+        ctx.sim.spawn(
+            _ticker(ctx, self._ticker_flag, self.cfg.effective_drain_poll,
+                    self.node.mailbox),
+            name="drain-ticker",
+        )
+
+        yield from self._build_phase()
+        self.outcome.t_build = ctx.sim.now
+        ctx.trace("phase", "scheduler", phase="build_done")
+
+        if self.strategy.needs_reshuffle:
+            yield from self._reshuffle_phase()
+        self.outcome.t_reshuffle = ctx.sim.now
+        ctx.trace("phase", "scheduler", phase="reshuffle_done")
+
+        yield from self._probe_phase()
+        self.outcome.t_probe = ctx.sim.now
+        ctx.trace("phase", "scheduler", phase="probe_done")
+
+        yield from self._ooc_pass_phase()
+        self.outcome.t_ooc = ctx.sim.now
+        ctx.trace("phase", "scheduler", phase="ooc_done")
+
+        yield from self._shutdown()
+        self.outcome.activated = list(self.activated)
+        return self.outcome
+
+    # ------------------------------------------------------------------
+    # build phase
+    # ------------------------------------------------------------------
+    def _build_phase(self) -> Generator[Any, Any, None]:
+        self._phase = "build"
+        self._drained = False
+        self._prev_round = None
+        while not self._drained:
+            # Relief first: expansion requests outrank polling.
+            while self.full_queue:
+                reporter = self.full_queue.popleft()
+                yield from self._relief_cycle(reporter)
+            msg = yield self.node.mailbox.get()
+            yield from self._dispatch_phase(msg)
+
+    def _relief_cycle(self, reporter: int) -> Generator[Any, Any, None]:
+        assert not self.relief_active, "relief cycles are serialized"
+        self.relief_active = True
+        self._prev_round = None
+        try:
+            # Re-check first: an earlier split in this queue may already
+            # have relieved the reporter (round-robin pointer policies
+            # split buckets other than the overflowing one).
+            yield from self.send_to_join(reporter, ReliefPing())
+            ack = yield from self.await_relief_ack(reporter)
+            if not ack.still_full:
+                return
+            ack = yield from self.strategy.expand(reporter)
+            if ack.still_full:
+                self.full_queue.append(reporter)
+        finally:
+            self.relief_active = False
+
+    def _dispatch_phase(self, msg: Any) -> Generator[Any, Any, None]:
+        """Main-loop dispatch for build/probe phases."""
+        if isinstance(msg, PollTick):
+            if self._ready_to_poll():
+                yield from self._start_poll_round()
+        elif isinstance(msg, StatusReport):
+            self._collect_report(msg)
+        else:
+            self._dispatch_common(msg)
+
+    def _ready_to_poll(self) -> bool:
+        relation = "R" if self._phase == "build" else "S"
+        return (
+            len(self._source_done[relation]) == self.ctx.n_sources
+            and not self.full_queue
+            and not self.relief_active
+            and not self._round_nodes  # no round already in flight
+        )
+
+    def _start_poll_round(self) -> Generator[Any, Any, None]:
+        self._poll_token += 1
+        self._round_reports = {}
+        self._round_nodes = tuple(self.activated)
+        for j in self._round_nodes:
+            yield from self.send_to_join(j, StatusRequest(self._poll_token))
+
+    def _collect_report(self, report: StatusReport) -> None:
+        if report.token != self._poll_token or report.node not in self._round_nodes:
+            return  # stale round
+        self._round_reports[report.node] = report
+        if len(self._round_reports) < len(self._round_nodes):
+            return
+        # Round complete: evaluate stability.
+        nodes = self._round_nodes
+        self._round_nodes = ()
+        if self.full_queue or self.relief_active or set(nodes) != set(self.activated):
+            self._prev_round = None
+            return
+        snapshot = {
+            j: (
+                r.received_build, r.processed_build, r.emitted_build,
+                r.received_probe, r.processed_probe, r.busy,
+            )
+            for j, r in self._round_reports.items()
+        }
+        if any(r.busy for r in self._round_reports.values()):
+            self._prev_round = snapshot
+            return
+        if self._phase == "build":
+            sent = self._source_chunks["R"] + sum(
+                r.emitted_build for r in self._round_reports.values()
+            )
+            received = sum(r.received_build for r in self._round_reports.values())
+            processed = sum(r.processed_build for r in self._round_reports.values())
+        else:
+            # emitted_probe covers output-sink forwarding (footnote 1)
+            sent = self._source_chunks["S"] + sum(
+                r.emitted_probe for r in self._round_reports.values()
+            )
+            received = sum(r.received_probe for r in self._round_reports.values())
+            processed = sum(r.processed_probe for r in self._round_reports.values())
+        balanced = sent == received == processed
+        if balanced and self._prev_round == snapshot:
+            self._drained = True
+        self._prev_round = snapshot
+
+    # ------------------------------------------------------------------
+    # reshuffle phase (hybrid)
+    # ------------------------------------------------------------------
+    def _reshuffle_phase(self) -> Generator[Any, Any, None]:
+        router = self.router
+        assert isinstance(router, RangeRouter)
+        groups = router.replicated_groups()
+        # A group whose active replica spilled to disk cannot be reshuffled:
+        # the disk-resident tuples cannot move, so the range must stay
+        # replicated (probe broadcast reaches memory parts and the spill).
+        members = [
+            (rng, chain) for rng, chain in groups
+            if not (set(chain) & self.spilled_nodes)
+        ]
+        frozen = [
+            (rng, chain) for rng, chain in groups
+            if set(chain) & self.spilled_nodes
+        ]
+        if not members:
+            return
+        ctx = self.ctx
+
+        # 1. Gather per-position counts from every replica-chain member.
+        expected = sum(len(chain) for _, chain in members)
+        for rng, chain in members:
+            for j in chain:
+                yield from self.send_to_join(j, CountRequest(rng.lo, rng.hi))
+        vectors: dict[int, np.ndarray] = {}
+        while len(vectors) < expected:
+            msg = yield from self.await_message(lambda m: isinstance(m, CountVector))
+            vectors[msg.node] = msg.counts
+
+        # 2. Greedy contiguous cut per group; dispatch redistribution orders.
+        new_entries: list[tuple] = [
+            (rng, chain) for rng, chain in router.entries if len(chain) == 1
+        ]
+        new_entries.extend(frozen)
+        n_orders = 0
+        for rng, chain in members:
+            total = np.zeros(rng.width, dtype=np.int64)
+            for j in chain:
+                total += vectors[j]
+            cuts = partition_range_by_counts(rng, total, len(chain))
+            assignments = tuple(zip(chain, cuts))
+            order = ReshuffleOrder(assignments=assignments)
+            for j in chain:
+                yield from self.send_to_join(j, order)
+                n_orders += 1
+            for j, cut in assignments:
+                if cut is not None:
+                    new_entries.append((cut, (j,)))
+            ctx.trace("reshuffle_cut", "scheduler", range=str(rng),
+                      parts=[str(c) for c in cuts])
+
+        # 3. Await completion acknowledgements.
+        done = 0
+        while done < n_orders:
+            msg = yield from self.await_message(
+                lambda m: isinstance(m, ReshuffleDone)
+            )
+            self.outcome.reshuffle_moved_tuples += msg.moved_tuples
+            done += 1
+
+        # 4. Drain the redistribution traffic, then install the new table.
+        self._phase = "build"
+        self._drained = False
+        self._prev_round = None
+        while not self._drained:
+            msg = yield self.node.mailbox.get()
+            yield from self._dispatch_phase(msg)
+
+        new_entries.sort(key=lambda e: e[0].lo)
+        self.router = RangeRouter(
+            positions=router.positions,
+            entries=tuple(new_entries),
+            version=self.next_version(),
+        )
+
+    # ------------------------------------------------------------------
+    # probe phase
+    # ------------------------------------------------------------------
+    def _probe_phase(self) -> Generator[Any, Any, None]:
+        probe_router = self.strategy.probe_router()
+        # Join nodes first: an S chunk must never outrun the phase switch.
+        for j in self.activated:
+            yield from self.send_to_join(j, StartProbe(router=None))
+        yield from self.broadcast_to_sources(StartProbe(router=probe_router))
+        self._phase = "probe"
+        self._drained = False
+        self._prev_round = None
+        while not self._drained:
+            # Probe-phase expansion (footnote 1): a node whose materialized
+            # output overflowed asks for an output sink.
+            while self.full_queue:
+                reporter = self.full_queue.popleft()
+                yield from self._probe_relief_cycle(reporter)
+            msg = yield self.node.mailbox.get()
+            yield from self._dispatch_phase(msg)
+
+    def _probe_relief_cycle(self, reporter: int) -> Generator[Any, Any, None]:
+        assert not self.relief_active, "relief cycles are serialized"
+        self.relief_active = True
+        self._prev_round = None
+        try:
+            new_node = self.alloc_node()
+            if new_node is None:
+                self.spilled_nodes.add(reporter)
+                self.ctx.trace("output_spill_order", "scheduler",
+                               reporter=reporter)
+                yield from self.send_to_join(reporter, SpillOrder())
+            else:
+                yield from self.send_to_join(
+                    new_node,
+                    ActivateJoin(new_node, phase="probe", output_sink=True),
+                )
+                yield from self.send_to_join(
+                    reporter, OutputRedirect(new_node=new_node)
+                )
+                self.ctx.trace("expand_output_sink", "scheduler",
+                               reporter=reporter, new_node=new_node)
+            yield from self.await_relief_ack(reporter)
+        finally:
+            self.relief_active = False
+
+    # ------------------------------------------------------------------
+    # OOC passes & shutdown
+    # ------------------------------------------------------------------
+    def _ooc_pass_phase(self) -> Generator[Any, Any, None]:
+        for j in self.activated:
+            yield from self.send_to_join(j, FinalizePass())
+        done = 0
+        while done < len(self.activated):
+            yield from self.await_message(lambda m: isinstance(m, PassDone))
+            done += 1
+
+    def _shutdown(self) -> Generator[Any, Any, None]:
+        self._ticker_flag.stopped = True
+        for s in range(self.ctx.n_sources):
+            yield from self.ctx.send(
+                self.node, self.ctx.source_node(s), Shutdown()
+            )
+        for j in range(self.ctx.n_potential):
+            yield from self.send_to_join(j, Shutdown())
+        while len(self.outcome.final_reports) < len(self.activated):
+            msg = yield from self.await_message(
+                lambda m: isinstance(m, FinalReport)
+            )
+            self.outcome.final_reports[msg.node] = msg
+
+
+def _ticker(
+    ctx: RunContext, flag: _StopFlag, interval: float, mailbox
+) -> Generator[Any, Any, None]:
+    """Drops PollTicks into the scheduler mailbox until stopped.
+
+    Runs on the scheduler node, so ticks never cross the network."""
+    while not flag.stopped:
+        yield ctx.sim.timeout(interval)
+        mailbox.put(PollTick())

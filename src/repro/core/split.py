@@ -1,0 +1,200 @@
+"""Split-based expansion (paper §4.2.1, after Amin et al.).
+
+Three policies (see ``SplitPolicy`` and DESIGN.md §2):
+
+* ``LINEAR_POINTER`` (default) — order-preserving linear hashing.  The
+  scheduler's **split pointer** walks the buckets round-robin; when memory
+  fills anywhere, the *pointed* bucket's contiguous hash range is bisected
+  and the upper half (stored tuples included) moves to the new node.  The
+  **barrier split pointer** is realized by the scheduler's serialized
+  relief cycles: a bucket is never asked to split while a split is in
+  flight.  Because the pointer, not the overflow, picks the victim, a
+  full node under skew may wait through many futile splits of cold
+  buckets — the cascade the paper observes in Figures 10-13.
+* ``TARGETED_BISECT`` — bisect the range of the node that reported memory
+  full directly (the abstract's minimal reading).
+* ``LINEAR_MOD`` — classic Litwin linear hashing with modulo addressing
+  (``h_i(p) = p mod n0*2^i``), kept as an ablation: the modulo scatters
+  contiguous hot positions across buckets and thereby *suppresses* the
+  paper's skew pathology.
+
+In every policy the hash space stays partitioned (never replicated), so
+the probe phase needs no extra communication — the strategy's defining
+trade against replication.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from ..config import SplitPolicy
+from ..hashing import (
+    HashRange,
+    LinearHashDirectory,
+    RangeRouter,
+    Router,
+    partition_positions,
+)
+from .messages import (
+    ActivateJoin,
+    BisectOrder,
+    LinearSplitOrder,
+    ReliefAck,
+    ReliefPing,
+    RouteUpdate,
+    SplitDone,
+)
+from .strategy import ExpansionStrategy
+
+__all__ = ["SplitStrategy"]
+
+
+class SplitStrategy(ExpansionStrategy):
+    """Partition the overflowing range/bucket onto the new node."""
+
+    def __init__(self, sched, policy: SplitPolicy):
+        super().__init__(sched)
+        self.policy = policy
+        #: classic-Litwin directory (LINEAR_MOD only)
+        self.directory: Optional[LinearHashDirectory] = None
+        #: round-robin split order over bucket owners (LINEAR_POINTER only)
+        self.split_order: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    def make_initial_router(self, initial: list[int]) -> Router:
+        if self.policy is SplitPolicy.LINEAR_MOD:
+            self.directory = LinearHashDirectory(len(initial), list(initial))
+            return self.directory.router(version=0)
+        if self.policy is SplitPolicy.LINEAR_POINTER:
+            self.split_order = deque(initial)
+        ranges = partition_positions(self.sched.cfg.hash_positions, len(initial))
+        return RangeRouter.initial(ranges, initial, self.sched.cfg.hash_positions)
+
+    def expand(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        if self.policy is SplitPolicy.LINEAR_MOD:
+            return (yield from self._expand_mod(reporter))
+        if self.policy is SplitPolicy.LINEAR_POINTER:
+            return (yield from self._expand_pointer(reporter))
+        return (yield from self._expand_bisect(reporter))
+
+    # ------------------------------------------------------------------
+    # shared bisection machinery (LINEAR_POINTER & TARGETED_BISECT)
+    # ------------------------------------------------------------------
+    def _bisect_owner(
+        self, owner: int, reporter: int
+    ) -> Generator[Any, Any, ReliefAck]:
+        """Split ``owner``'s range onto a fresh node; finish the relief
+        cycle by pinging ``reporter`` if the split went elsewhere."""
+        sched = self.sched
+        router: RangeRouter = sched.router  # type: ignore[assignment]
+        idx = _single_owner_entry(router, owner)
+        rng, _ = router.entries[idx]
+        new_node = sched.alloc_node()
+        if new_node is None:
+            return (yield from self.fallback_spill(reporter))
+
+        left, right = rng.bisect()
+        yield from sched.send_to_join(
+            new_node, ActivateJoin(new_node, hash_range=right)
+        )
+        sched.router = router.with_bisection(idx, owner, new_node,
+                                             sched.next_version())
+        yield from sched.send_to_join(
+            owner, BisectOrder(mid=right.lo, new_node=new_node)
+        )
+        yield from sched.broadcast_to_sources(RouteUpdate(sched.router))
+        sched.ctx.trace("expand_split", "scheduler", policy=self.policy.value,
+                        owner=owner, reporter=reporter, new_node=new_node,
+                        left=str(left), right=str(right))
+        t0 = sched.ctx.sim.now
+        ack_owner = yield from sched.await_relief_ack(owner)
+        sched.record_split(moved=ack_owner.moved_tuples,
+                           busy=sched.ctx.sim.now - t0)
+        if owner == reporter:
+            return ack_owner
+        # The pointer chose a different victim; ask the full reporter to
+        # retry its parked buffers against the (possibly unchanged) table.
+        yield from sched.send_to_join(reporter, ReliefPing())
+        return (yield from sched.await_relief_ack(reporter))
+
+    # ------------------------------------------------------------------
+    # TARGETED_BISECT: split the reporter itself
+    # ------------------------------------------------------------------
+    def _expand_bisect(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        router: RangeRouter = self.sched.router  # type: ignore[assignment]
+        rng, _ = router.entries[_single_owner_entry(router, reporter)]
+        if rng.width < 2:
+            # Atomic range: splitting cannot relieve this node.
+            return (yield from self.fallback_spill(reporter))
+        return (yield from self._bisect_owner(reporter, reporter))
+
+    # ------------------------------------------------------------------
+    # LINEAR_POINTER: split whatever bucket the pointer names
+    # ------------------------------------------------------------------
+    def _expand_pointer(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        sched = self.sched
+        router: RangeRouter = sched.router  # type: ignore[assignment]
+        owner = None
+        for _ in range(len(self.split_order)):
+            candidate = self.split_order[0]
+            rng, _ = router.entries[_single_owner_entry(router, candidate)]
+            if rng.width >= 2:
+                owner = candidate
+                break
+            self.split_order.rotate(-1)  # atomic bucket: skip it this round
+        if owner is None:
+            return (yield from self.fallback_spill(reporter))
+        ack = yield from self._bisect_owner(owner, reporter)
+        if sched.router is not router:  # the split actually happened
+            self.split_order.popleft()
+            self.split_order.append(owner)
+            new_node = sched.activated[-1]
+            self.split_order.append(new_node)
+        return ack
+
+    # ------------------------------------------------------------------
+    # LINEAR_MOD: classic Litwin addressing (ablation)
+    # ------------------------------------------------------------------
+    def _expand_mod(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        sched = self.sched
+        assert self.directory is not None
+        new_node = sched.alloc_node()
+        if new_node is None:
+            return (yield from self.fallback_spill(reporter))
+
+        t0 = sched.ctx.sim.now
+        ticket = self.directory.begin_split(new_node)
+        yield from sched.send_to_join(
+            new_node, ActivateJoin(new_node, bucket=ticket.new_bucket)
+        )
+        yield from sched.send_to_join(
+            ticket.owner_node,
+            LinearSplitOrder(
+                new_bucket=ticket.new_bucket,
+                modulus=ticket.modulus,
+                new_node=new_node,
+            ),
+        )
+        done: SplitDone = yield from sched.await_message(
+            lambda m: isinstance(m, SplitDone) and m.node == ticket.owner_node
+        )
+        self.directory.complete_split(ticket)
+        sched.router = self.directory.router(sched.next_version())
+        yield from sched.broadcast_to_sources(RouteUpdate(sched.router))
+        sched.ctx.trace("expand_linear_mod", "scheduler",
+                        reporter=reporter, owner=ticket.owner_node,
+                        new_node=new_node, bucket=ticket.bucket,
+                        new_bucket=ticket.new_bucket)
+        sched.record_split(moved=done.moved_tuples, busy=sched.ctx.sim.now - t0)
+
+        # The split may not have targeted the reporter; ping it to retry.
+        yield from sched.send_to_join(reporter, ReliefPing())
+        return (yield from sched.await_relief_ack(reporter))
+
+
+def _single_owner_entry(router: RangeRouter, node: int) -> int:
+    for i, (_rng, chain) in enumerate(router.entries):
+        if chain == (node,):
+            return i
+    raise LookupError(f"node {node} owns no range")

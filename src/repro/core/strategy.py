@@ -1,0 +1,82 @@
+"""Expansion-strategy interface.
+
+A strategy encapsulates what the scheduler does when a join node reports
+*memory full* (paper §4.2): recruit a node and either split, replicate, or
+— for the non-expanding baseline — nothing (join nodes spill to disk on
+their own).  Strategies run *inside* the scheduler process and use its
+messaging/await helpers; each ``expand`` call is one complete relief cycle
+ending with the reporter's :class:`~repro.core.messages.ReliefAck`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..config import Algorithm, RunConfig, SplitPolicy
+from ..hashing import Router
+from .messages import ReliefAck, SpillOrder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import SchedulerProcess
+
+__all__ = ["ExpansionStrategy", "make_strategy"]
+
+
+class ExpansionStrategy(ABC):
+    """One relief policy; owned and driven by the scheduler process."""
+
+    #: hybrid runs the reshuffling step between build and probe
+    needs_reshuffle: bool = False
+    #: OOC join nodes spill to disk instead of reporting memory-full
+    auto_spill: bool = False
+
+    def __init__(self, sched: "SchedulerProcess"):
+        self.sched = sched
+
+    @abstractmethod
+    def make_initial_router(self, initial: list[int]) -> Router:
+        """Initial bucket assignment: one bucket per initial join node."""
+
+    @abstractmethod
+    def expand(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        """Run one relief cycle for ``reporter`` (a full node).
+
+        Must allocate the new node itself (so fallbacks do not leak pool
+        slots) and return the reporter's ReliefAck.
+        """
+
+    def probe_router(self) -> Router:
+        """Routing table for the probe phase (default: current table)."""
+        return self.sched.router
+
+    # ------------------------------------------------------------------
+    # shared fallback
+    # ------------------------------------------------------------------
+    def fallback_spill(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
+        """Pool exhausted (or range atomic): degrade the reporter to local
+        out-of-core spilling.  Documented deviation — the paper's
+        experiments never exhaust the potential pool."""
+        sched = self.sched
+        sched.spilled_nodes.add(reporter)
+        sched.ctx.trace("fallback_spill", "scheduler", reporter=reporter)
+        yield from sched.send_to_join(reporter, SpillOrder())
+        return (yield from sched.await_relief_ack(reporter))
+
+
+def make_strategy(sched: "SchedulerProcess", cfg: RunConfig) -> ExpansionStrategy:
+    """Strategy factory keyed on the configured algorithm."""
+    from .hybrid import HybridStrategy
+    from .ooc import OutOfCoreStrategy
+    from .replicate import ReplicationStrategy
+    from .split import SplitStrategy
+
+    if cfg.algorithm is Algorithm.REPLICATE:
+        return ReplicationStrategy(sched)
+    if cfg.algorithm is Algorithm.HYBRID:
+        return HybridStrategy(sched)
+    if cfg.algorithm is Algorithm.SPLIT:
+        return SplitStrategy(sched, cfg.split_policy)
+    if cfg.algorithm is Algorithm.OUT_OF_CORE:
+        return OutOfCoreStrategy(sched)
+    raise ValueError(f"unknown algorithm {cfg.algorithm}")

@@ -1,0 +1,20 @@
+"""Synthetic relation generation (paper §5 'Data Generation').
+
+Tuples carry a 64-bit index, a 64-bit join attribute, and an n-byte
+payload.  Only the join attributes are materialized (as NumPy arrays);
+index and payload bytes are *accounted* in every memory, network and disk
+cost via ``WorkloadSpec.tuple_bytes`` but never read by any algorithm, so
+omitting their bits changes nothing observable.
+"""
+
+from .distributions import VALUE_BITS, VALUE_SPACE, draw_values
+from .relation import RelationStream, materialize_relation, source_share
+
+__all__ = [
+    "VALUE_BITS",
+    "VALUE_SPACE",
+    "RelationStream",
+    "draw_values",
+    "materialize_relation",
+    "source_share",
+]

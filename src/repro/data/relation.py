@@ -1,0 +1,86 @@
+"""On-the-fly relation streams, partitioned across data sources.
+
+The paper generates relations R and S *as the join progresses*, on multiple
+source nodes ("simulates data streaming from a distributed database or
+table streams in a multi-join operation").  :class:`RelationStream` gives
+each source an independent, seeded, reproducible stream of generation
+batches; concatenating all sources' batches yields the full relation, which
+is what the sequential reference join consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..config import WorkloadSpec
+from .distributions import draw_values
+
+__all__ = ["RelationStream", "source_share", "materialize_relation"]
+
+
+def source_share(total: int, n_sources: int, source_index: int) -> int:
+    """Tuples assigned to one source: even split, remainder to low indices."""
+    if not (0 <= source_index < n_sources):
+        raise IndexError(f"source {source_index} out of {n_sources}")
+    base, rem = divmod(total, n_sources)
+    return base + (1 if source_index < rem else 0)
+
+
+@dataclass(frozen=True)
+class RelationStream:
+    """One source's view of one relation (R or S)."""
+
+    spec: WorkloadSpec
+    relation: str  # "R" or "S"
+    n_sources: int
+    source_index: int
+
+    def __post_init__(self) -> None:
+        if self.relation not in ("R", "S"):
+            raise ValueError(f"relation must be 'R' or 'S', got {self.relation!r}")
+
+    @property
+    def total_tuples(self) -> int:
+        whole = (
+            self.spec.real_r_tuples if self.relation == "R" else self.spec.real_s_tuples
+        )
+        return source_share(whole, self.n_sources, self.source_index)
+
+    def _rng(self) -> np.random.Generator:
+        # Independent, reproducible stream per (seed, relation, source).
+        root = np.random.SeedSequence(
+            entropy=self.spec.seed,
+            spawn_key=(0 if self.relation == "R" else 1, self.source_index),
+        )
+        return np.random.default_rng(root)
+
+    def batches(self) -> Iterator[np.ndarray]:
+        """Generation batches of join-attribute values (uint64 arrays).
+
+        Batch size equals the communication chunk size: the source fills
+        its per-destination buffers one generation batch at a time.
+        """
+        rng = self._rng()
+        remaining = self.total_tuples
+        batch = self.spec.real_chunk_tuples
+        while remaining > 0:
+            n = min(batch, remaining)
+            yield draw_values(rng, n, self.spec, relation=self.relation)
+            remaining -= n
+
+
+def materialize_relation(spec: WorkloadSpec, relation: str, n_sources: int) -> np.ndarray:
+    """The full relation as one array (exactly the union of source streams).
+
+    Used by the sequential reference join to validate distributed results.
+    """
+    parts = []
+    for s in range(n_sources):
+        stream = RelationStream(spec, relation, n_sources, s)
+        parts.extend(stream.batches())
+    if not parts:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(parts)

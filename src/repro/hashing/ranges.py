@@ -1,0 +1,79 @@
+"""Half-open hash-table position ranges ``[lo, hi)``.
+
+The unit the paper's algorithms reason in: every bucket is a contiguous
+range of hash-table positions; splits bisect ranges; replication duplicates
+them; reshuffling re-partitions them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["HashRange", "partition_positions", "ranges_partition_space"]
+
+
+@dataclass(frozen=True, order=True)
+class HashRange:
+    """A half-open interval of hash-table positions."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo < self.hi):
+            raise ValueError(f"invalid range [{self.lo}, {self.hi})")
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, position: int) -> bool:
+        return self.lo <= position < self.hi
+
+    def bisect(self) -> tuple["HashRange", "HashRange"]:
+        """Split at the midpoint (paper's split-based expansion step).
+
+        Raises ``ValueError`` when the range is a single position and
+        cannot be split further.
+        """
+        if self.width < 2:
+            raise ValueError(f"range {self} is atomic and cannot be bisected")
+        mid = self.lo + self.width // 2
+        return HashRange(self.lo, mid), HashRange(mid, self.hi)
+
+    def overlaps(self, other: "HashRange") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo},{self.hi})"
+
+
+def partition_positions(positions: int, parts: int) -> list[HashRange]:
+    """Split ``[0, positions)`` into ``parts`` near-equal contiguous ranges.
+
+    This is the paper's initial bucket assignment: one bucket per initial
+    join node.  Remainder positions go to the lowest-index ranges.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if parts > positions:
+        raise ValueError(f"cannot cut {positions} positions into {parts} parts")
+    base, rem = divmod(positions, parts)
+    out = []
+    lo = 0
+    for k in range(parts):
+        width = base + (1 if k < rem else 0)
+        out.append(HashRange(lo, lo + width))
+        lo += width
+    return out
+
+
+def ranges_partition_space(ranges: Iterable[HashRange], positions: int) -> bool:
+    """True iff ``ranges`` tile ``[0, positions)`` exactly (no gap/overlap)."""
+    ordered = sorted(ranges)
+    if not ordered:
+        return positions == 0
+    if ordered[0].lo != 0 or ordered[-1].hi != positions:
+        return False
+    return all(a.hi == b.lo for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,73 @@
+"""Greedy contiguous repartitioning (the hybrid algorithm's reshuffle step).
+
+Paper §4.2.3: after the build phase, every set of nodes sharing a
+replicated hash range computes a global per-position tuple count and cuts
+the range into |set| contiguous sub-arrays of (near-)equal total weight.
+This module implements the cut; the comm protocol around it lives in
+:mod:`repro.core.hybrid`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ranges import HashRange
+
+__all__ = ["greedy_contiguous_partition", "partition_range_by_counts"]
+
+
+def greedy_contiguous_partition(weights: np.ndarray, parts: int) -> list[tuple[int, int]]:
+    """Cut ``range(len(weights))`` into ``parts`` contiguous slices of
+    near-equal total weight.
+
+    Greedy prefix rule (the paper's "simple greedy heuristic"): boundary k
+    is placed at the first index where the cumulative weight reaches
+    ``total * k / parts``.  Guarantees:
+
+    * slices are contiguous, ordered and tile ``[0, len(weights))``;
+    * every slice's weight is at most ``total/parts + max(weights)``
+      (can't overshoot an ideal boundary by more than one position).
+
+    Returns a list of half-open offset pairs.  Zero-width slices are legal
+    when ``parts`` exceeds the number of positive-weight positions.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    n = int(len(weights))
+    if n == 0:
+        raise ValueError("weights must be non-empty")
+    w = np.asarray(weights, dtype=np.float64)
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    cum = np.cumsum(w)
+    total = float(cum[-1])
+    if total == 0.0:
+        # Nothing stored: fall back to equal-width cuts.
+        bounds = np.linspace(0, n, parts + 1).astype(np.int64)
+    else:
+        targets = total * np.arange(1, parts) / parts
+        # first index whose cumulative weight reaches the target, +1 to make
+        # the boundary exclusive of that index's slice end
+        inner = np.searchsorted(cum, targets, side="left") + 1
+        bounds = np.concatenate(([0], np.minimum(inner, n), [n]))
+        bounds = np.maximum.accumulate(bounds)
+    return [(int(bounds[k]), int(bounds[k + 1])) for k in range(parts)]
+
+
+def partition_range_by_counts(rng: HashRange, counts: np.ndarray, parts: int) -> list[HashRange | None]:
+    """Apply the greedy cut to a hash range given per-position counts.
+
+    ``counts[k]`` is the global tuple count at position ``rng.lo + k``.
+    Returns one entry per part: a :class:`HashRange` or ``None`` for a
+    zero-width slice (that node ends up owning nothing).
+    """
+    if len(counts) != rng.width:
+        raise ValueError("counts length must equal the range width")
+    slices = greedy_contiguous_partition(counts, parts)
+    out: list[HashRange | None] = []
+    for lo_off, hi_off in slices:
+        if hi_off > lo_off:
+            out.append(HashRange(rng.lo + lo_off, rng.lo + hi_off))
+        else:
+            out.append(None)
+    return out

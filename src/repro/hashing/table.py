@@ -1,0 +1,112 @@
+"""Per-join-node hash-table storage with vectorized probe.
+
+Stores the build-relation tuples a node has accepted.  Values are appended
+chunk-wise (cheap) and consolidated into a sorted array lazily when the
+probe phase — or a split extraction — needs ordered access.
+
+Only the 64-bit join attributes are materialized; payload/index bytes are
+charged to the node's :class:`~repro.cluster.memory.MemoryAccount` by the
+join process (see DESIGN.md §2 on accounted-but-not-materialized bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .hashfn import PositionMap
+
+__all__ = ["NodeHashStore"]
+
+
+class NodeHashStore:
+    """Build-side tuple store for one join node."""
+
+    def __init__(self, posmap: PositionMap):
+        self.posmap = posmap
+        self._chunks: list[np.ndarray] = []
+        self._sorted: Optional[np.ndarray] = None
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stored_tuples(self) -> int:
+        return self._count
+
+    def insert(self, values: np.ndarray) -> None:
+        """Append a chunk of build tuples (no copy; caller cedes ownership)."""
+        if values.size == 0:
+            return
+        self._chunks.append(values)
+        self._count += int(values.size)
+        self._sorted = None
+
+    # ------------------------------------------------------------------
+    def _all_values(self) -> np.ndarray:
+        if len(self._chunks) == 0:
+            return np.empty(0, dtype=np.uint64)
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks)]
+        return self._chunks[0]
+
+    def finalize(self) -> None:
+        """Sort stored values for O(log n) probing (idempotent)."""
+        if self._sorted is None:
+            values = self._all_values()
+            self._sorted = np.sort(values)
+
+    def probe(self, values: np.ndarray) -> int:
+        """Number of join matches between ``values`` and the stored tuples.
+
+        Equi-join semantics: a probe tuple matches every stored tuple with
+        an equal join attribute, so the result counts pairs.
+        """
+        if values.size == 0 or self._count == 0:
+            return 0
+        self.finalize()
+        assert self._sorted is not None
+        left = np.searchsorted(self._sorted, values, side="left")
+        right = np.searchsorted(self._sorted, values, side="right")
+        return int((right - left).sum())
+
+    # ------------------------------------------------------------------
+    # extraction (splits / reshuffle)
+    # ------------------------------------------------------------------
+    def extract_where(self, predicate: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Remove and return stored values whose *positions* satisfy
+        ``predicate(positions) -> bool mask``."""
+        values = self._all_values()
+        if values.size == 0:
+            return np.empty(0, dtype=np.uint64)
+        mask = predicate(self.posmap(values))
+        out = values[mask]
+        keep = values[~mask]
+        self._chunks = [keep] if keep.size else []
+        self._count = int(keep.size)
+        self._sorted = None
+        return out
+
+    def extract_position_range(self, lo: int, hi: int) -> np.ndarray:
+        """Remove and return values with position in ``[lo, hi)``."""
+        return self.extract_where(lambda pos: (pos >= lo) & (pos < hi))
+
+    def extract_linear_bucket(self, new_bucket: int, modulus: int) -> np.ndarray:
+        """Remove values rehashing to ``new_bucket`` under ``h_{i+1}``.
+
+        ``modulus`` is ``m = n0 * 2^i`` at split time; the new bucket index
+        is ``m + s`` and ``h_{i+1}(p) = p mod 2m``.
+        """
+        return self.extract_where(lambda pos: (pos % (2 * modulus)) == new_bucket)
+
+    # ------------------------------------------------------------------
+    def position_counts(self, lo: int, hi: int) -> np.ndarray:
+        """Tuples stored per hash position over ``[lo, hi)`` (reshuffle input)."""
+        if hi <= lo:
+            raise ValueError("empty counting range")
+        values = self._all_values()
+        if values.size == 0:
+            return np.zeros(hi - lo, dtype=np.int64)
+        pos = self.posmap(values)
+        inside = (pos >= lo) & (pos < hi)
+        return np.bincount(pos[inside] - lo, minlength=hi - lo).astype(np.int64)

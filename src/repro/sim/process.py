@@ -1,0 +1,185 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  Each value the generator yields must be
+an :class:`~repro.sim.kernel.Event`; the process suspends until the event is
+processed, then resumes with the event's value (or the event's exception is
+thrown into the generator).  A process is itself an event that fires with
+the generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import Any, Iterable, Optional
+
+from .errors import Interrupt, SimulationError
+from .kernel import Event, Simulator
+
+__all__ = ["Process", "AllOf", "AnyOf"]
+
+
+class Process(Event):
+    """A running simulation process (also an event: fires on termination)."""
+
+    __slots__ = ("name", "_generator", "_waiting_on", "_started")
+
+    def __init__(self, sim: Simulator, generator: Iterable, name: str = ""):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._started = False
+        sim._active_processes += 1
+        # Kick off at the current time, but via the queue so that spawning
+        # order == first-execution order (deterministic).
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is abandoned (its stale wakeup
+        is dropped when it fires); the process decides how to recover.
+        Caveats of abandonment: a pending ``Resource.acquire`` /
+        ``Mailbox.get`` must be withdrawn with ``cancel`` / ``cancel_get``
+        (``Resource.use`` does this itself), and if the abandoned event was
+        a *process* that later fails, this waiter no longer observes the
+        failure — it surfaces from ``Simulator.run`` only if no other
+        observer exists.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        wakeup = Event(self.sim)
+
+        def fire(ev: Event) -> None:
+            # The target may have finished between the interrupt call and
+            # this wakeup firing (both in the same tick); throwing into an
+            # exhausted generator would corrupt the process accounting.
+            if not self.triggered:
+                self._throw_in(Interrupt(cause))
+
+        wakeup.add_callback(fire)
+        wakeup.succeed(None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resume(self, event: Optional[Event]) -> None:
+        if event is not None and event is not self._waiting_on and self._started:
+            # The process was interrupted while waiting on this event and
+            # has since moved on; drop the stale wakeup.
+            return
+        self._started = True
+        self._waiting_on = None
+        if event is None or event._exc is None:
+            self._advance(send=event.value if event is not None else None)
+        else:
+            self._throw_in(event._exc)
+
+    def _throw_in(self, exc: BaseException) -> None:
+        self._waiting_on = None
+        self._advance(throw=exc)
+
+    def _advance(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        gen = self._generator
+        while True:
+            try:
+                if throw is not None:
+                    target = gen.throw(throw)
+                    throw = None
+                else:
+                    target = gen.send(send)
+            except StopIteration as stop:
+                self.sim._active_processes -= 1
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.sim._active_processes -= 1
+                self.fail(_annotate(exc, self.name))
+                self.sim._failed_processes.append(self)
+                return
+
+            if not isinstance(target, Event):
+                throw = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                send = None
+                continue
+            if target._processed:
+                # Already done: resume immediately (same tick) without
+                # bouncing through the queue.
+                if target._exc is not None:
+                    throw = target._exc
+                    send = None
+                else:
+                    send = target._value
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
+
+
+def _annotate(exc: BaseException, name: str) -> BaseException:
+    exc.add_note(f"(raised in simulation process {name!r})")
+    return exc
+
+
+class AllOf(Event):
+    """Fires once all given events have fired; value is the list of values.
+
+    Fails fast with the first failure among its children.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: Simulator, events: list[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires as soon as any given event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: Simulator, events: list[Event]):
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        super().__init__(sim)
+        self._events = list(events)
+        for i, ev in enumerate(self._events):
+            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, index: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        else:
+            self.succeed((index, ev._value))

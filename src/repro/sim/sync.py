@@ -1,0 +1,212 @@
+"""Synchronization primitives built on kernel events.
+
+These cover everything the cluster substrate needs:
+
+* :class:`Mailbox` — unbounded FIFO message queue with blocking ``get()``
+  (models a node's incoming message queue).
+* :class:`Resource` — FIFO server with integer capacity (models NICs, CPUs
+  and disks: one request holds a slot for a computed service time).
+* :class:`Barrier` — n-party phase barrier.
+* :class:`Latch` — countdown latch (fires when count reaches zero).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .errors import SimulationError
+from .kernel import Event, Simulator
+
+__all__ = ["Mailbox", "Resource", "Barrier", "Latch"]
+
+
+class Mailbox:
+    """Unbounded FIFO queue of messages with event-based blocking ``get``."""
+
+    def __init__(self, sim: Simulator, name: str = "mailbox"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        #: total messages ever put (diagnostics)
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit a message; wakes the oldest waiting getter, if any."""
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next message (FIFO).
+
+        A process that abandons a pending get (e.g. recovering from an
+        :class:`~repro.sim.errors.Interrupt`) must call :meth:`cancel_get`
+        with the event, or the next put() would be consumed by the dead
+        getter and the message silently lost.
+        """
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def cancel_get(self, ev: Event) -> None:
+        """Withdraw a pending getter (no-op if it already fired)."""
+        try:
+            self._getters.remove(ev)
+        except ValueError:
+            pass
+
+    def drain(self) -> list[Any]:
+        """Remove and return all currently queued messages (non-blocking)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Resource:
+    """A FIFO server with ``capacity`` identical slots.
+
+    ``acquire()`` returns an event that fires when a slot is granted;
+    ``release()`` frees a slot.  The common hold-for-a-duration pattern is
+    packaged as :meth:`use`, a generator to be ``yield from``-ed inside a
+    process::
+
+        yield from nic.use(nbytes / bandwidth)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        #: cumulative busy time integrated over slots (utilization metric)
+        self.busy_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot straight to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw an acquire that will never be consumed.
+
+        If the request is still queued it is removed; if the slot was
+        already granted it is released.  Required when a process abandons
+        a pending acquire (e.g. on :class:`~repro.sim.errors.Interrupt`) —
+        otherwise a later release() would hand the slot to the dead waiter
+        and leak it forever.
+        """
+        try:
+            self._waiters.remove(ev)
+            return
+        except ValueError:
+            pass
+        if ev.triggered:
+            self.release()
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Hold one slot for ``duration`` simulated seconds (FIFO order).
+
+        Interrupt-safe: an Interrupt while waiting for the slot cancels the
+        request; an Interrupt while holding it releases the slot."""
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        req = self.acquire()
+        try:
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
+        try:
+            yield self.sim.timeout(duration)
+            self.busy_time += duration
+        finally:
+            self.release()
+
+
+class Barrier:
+    """A reusable barrier for a fixed party count.
+
+    ``wait()`` returns an event firing once all parties of the current
+    generation have arrived.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.parties = parties
+        self._arrived: list[Event] = []
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        self._arrived.append(ev)
+        if len(self._arrived) == self.parties:
+            arrived, self._arrived = self._arrived, []
+            for waiter in arrived:
+                waiter.succeed(None)
+        return ev
+
+
+class Latch:
+    """Countdown latch: fires its event when the count reaches zero."""
+
+    def __init__(self, sim: Simulator, count: int, name: str = "latch"):
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._count = count
+        self._event = Event(sim)
+        if count == 0:
+            self._event.succeed(None)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def count_down(self, n: int = 1) -> None:
+        if self._count <= 0:
+            raise SimulationError(f"latch {self.name!r} already open")
+        if n < 1 or n > self._count:
+            raise ValueError(f"invalid count_down({n}) with count={self._count}")
+        self._count -= n
+        if self._count == 0:
+            self._event.succeed(None)
+
+    def wait(self) -> Event:
+        return self._event

@@ -1,0 +1,54 @@
+"""Lightweight structured tracing for simulation runs.
+
+Algorithm processes emit trace records ("node 7 recruited at t=3.2s",
+"split #4: bucket [lo,hi) -> ...") that the driver collects into the run
+result.  Tracing is cheap enough to stay on by default; a category filter
+lets tests subscribe narrowly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: (simulated time, category, actor, detail mapping)."""
+
+    time: float
+    category: str
+    actor: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.6f}] {self.category:<12} {self.actor:<14} {kv}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries in simulation order."""
+
+    def __init__(self, enabled: bool = True, categories: Optional[set[str]] = None):
+        self.enabled = enabled
+        self.categories = categories
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, category: str, actor: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, actor, detail))
+
+    def select(self, category: str) -> Iterator[TraceRecord]:
+        """Iterate records of one category, in time order."""
+        return (r for r in self.records if r.category == category)
+
+    def format(self) -> str:
+        return "\n".join(str(r) for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,76 @@
+"""Tests for the strategy advisor (the paper's §6 policy) — including an
+end-to-end check that the advice actually wins in simulation."""
+
+import pytest
+
+from tests.conftest import small_cluster, small_config, small_workload
+from repro.analysis import Recommendation, recommend_strategy
+from repro.config import Algorithm
+from repro.core import run_join
+
+CAP = 625_000  # tuples per node under the default calibration
+
+
+def test_skew_always_recommends_hybrid():
+    rec = recommend_strategy(10_000_000, CAP, 4, skewed=True)
+    assert rec.algorithm is Algorithm.HYBRID
+    assert "skew" in rec.reason
+
+
+def test_larger_build_relation_recommends_replication():
+    rec = recommend_strategy(100_000_000, CAP, 4, build_is_larger=True)
+    assert rec.algorithm is Algorithm.REPLICATE
+
+
+def test_no_expansion_recommends_split():
+    rec = recommend_strategy(1_000_000, CAP, 16, estimate_error_factor=1.0)
+    assert rec.algorithm is Algorithm.SPLIT
+    assert rec.expected_expansion == 1.0
+
+
+def test_small_expansion_recommends_split():
+    # 4 initial nodes, worst case needs ~6 -> E = 1.5 < crossover (~2)
+    rec = recommend_strategy(3_000_000, CAP, 4, estimate_error_factor=1.2)
+    assert rec.algorithm is Algorithm.SPLIT
+    assert 1.0 < rec.expected_expansion < 2.0
+
+
+def test_large_expansion_recommends_hybrid():
+    rec = recommend_strategy(10_000_000, CAP, 1, estimate_error_factor=2.0)
+    assert rec.algorithm is Algorithm.HYBRID
+    assert rec.expected_expansion > 2.0
+
+
+def test_skew_outranks_build_size():
+    rec = recommend_strategy(100_000_000, CAP, 4, skewed=True,
+                             build_is_larger=True)
+    assert rec.algorithm is Algorithm.HYBRID
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        recommend_strategy(0, CAP, 4)
+    with pytest.raises(ValueError):
+        recommend_strategy(100, 0, 4)
+    with pytest.raises(ValueError):
+        recommend_strategy(100, CAP, 0)
+    with pytest.raises(ValueError):
+        recommend_strategy(100, CAP, 4, estimate_error_factor=0.5)
+
+
+def test_str_rendering():
+    rec = recommend_strategy(10_000_000, CAP, 2)
+    text = str(rec)
+    assert rec.algorithm.value in text and "E~" in text
+
+
+def test_advice_wins_in_simulation_under_skew():
+    """The recommended algorithm actually beats the anti-recommendation."""
+    rec = recommend_strategy(6000, 400, 4, skewed=True)
+    wl = small_workload(r=6000, s=6000, sigma=0.0001)
+    cluster = small_cluster(pool=24)
+    advised = run_join(small_config(rec.algorithm, initial=4, workload=wl,
+                                    cluster=cluster), validate=False)
+    split = run_join(small_config(Algorithm.SPLIT, initial=4, workload=wl,
+                                  cluster=cluster), validate=False)
+    assert advised.total_s < split.total_s

@@ -1,0 +1,98 @@
+"""Unit tests for the analysis layer: §4.2.4 model, load balance, reports."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    FigureReport,
+    OverheadModel,
+    format_table,
+    hybrid_overhead_s,
+    split_moved_capacity_model,
+    split_overhead_s,
+)
+from repro.config import CostModel
+
+
+# ----------------------------------------------------------------------
+# §4.2.4 analytic model
+# ----------------------------------------------------------------------
+def test_split_overhead_formula():
+    # log2(E) * B/2 * t_w
+    assert split_overhead_s(1000, 4, 0.01) == pytest.approx(2 * 500 * 0.01)
+    assert split_overhead_s(1000, 1, 0.01) == 0.0
+    with pytest.raises(ValueError):
+        split_overhead_s(1000, 0.5, 0.01)
+
+
+def test_hybrid_overhead_formula():
+    # (E-1)/E * B * t_w
+    assert hybrid_overhead_s(1000, 4, 0.01) == pytest.approx(0.75 * 1000 * 0.01)
+    assert hybrid_overhead_s(1000, 1, 0.01) == 0.0
+    with pytest.raises(ValueError):
+        hybrid_overhead_s(1000, 0.9, 0.01)
+
+
+def test_split_overhead_grows_faster_than_hybrid():
+    """The paper's core analytic claim (§4.2.4)."""
+    m = OverheadModel(bucket_bytes=1e6, t_w=8e-8)
+    ratios = [m.split_s(e) / m.hybrid_s(e) for e in (2, 4, 8, 16, 64)]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]
+
+
+def test_crossover_expansion_solves_equation():
+    m = OverheadModel(bucket_bytes=1.0, t_w=1.0)
+    e = m.crossover_expansion()
+    assert m.split_s(e) == pytest.approx(m.hybrid_s(e), rel=1e-6)
+    assert e > 1.0
+    # below the crossover split is cheaper, above it hybrid is cheaper
+    assert m.split_s(e * 0.9) < m.hybrid_s(e * 0.9)
+    assert m.split_s(e * 1.1) > m.hybrid_s(e * 1.1)
+
+
+def test_from_run_derives_bucket_and_wire_cost():
+    cost = CostModel(net_bandwidth=10e6)
+    m = OverheadModel.from_run(relation_bytes=100e6, original_buckets=4,
+                               cost=cost)
+    assert m.bucket_bytes == pytest.approx(25e6)
+    assert m.t_w == pytest.approx(1e-7)
+
+
+def test_capacity_model():
+    assert split_moved_capacity_model(10, 1000) == 5000.0
+    assert split_moved_capacity_model(0, 1000) == 0.0
+    with pytest.raises(ValueError):
+        split_moved_capacity_model(-1, 10)
+
+
+def test_predicted_tuples_moved():
+    m = OverheadModel(bucket_bytes=1.0, t_w=1.0)
+    assert m.predicted_tuples_moved_split(1000, 1) == 0.0
+    assert m.predicted_tuples_moved_split(1000, 4) == pytest.approx(1000.0)
+    assert m.predicted_tuples_moved_hybrid(1000, 4) == pytest.approx(750.0)
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    out = format_table(["a", "bbb"], [[1, 2.5], [30, 4.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "bbb" in lines[0]
+    assert "2.5" in lines[2] and "4.2" in lines[3]
+
+
+def test_figure_report_checks_and_render():
+    rep = FigureReport("Figure X", "demo", ["col"], rows=[[1.0]])
+    rep.check("always true", 1 < 2)
+    rep.check("always false", 1 > 2)
+    assert not rep.all_passed
+    text = rep.render()
+    assert "[PASS] always true" in text
+    assert "[FAIL] always false" in text
+    md = rep.to_markdown()
+    assert md.startswith("### Figure X")
+    assert "| col |" in md

@@ -1,0 +1,57 @@
+"""Unit tests for the figure-reproduction harness plumbing (micro scale)."""
+
+import pytest
+
+from repro.bench import ALGORITHMS, EHJAS, FigureHarness
+from repro.config import Algorithm
+
+
+@pytest.fixture(scope="module")
+def harness():
+    # 10M paper tuples -> 10k real tuples: each run takes well under a second
+    return FigureHarness(scale=0.001, validate=True)
+
+
+def test_run_results_are_memoized(harness):
+    a = harness.run(Algorithm.SPLIT, 2)
+    b = harness.run(Algorithm.SPLIT, 2)
+    assert a is b, "identical configs must reuse the cached run"
+    c = harness.run(Algorithm.SPLIT, 4)
+    assert c is not a
+
+
+def test_run_applies_parameters(harness):
+    res = harness.run(Algorithm.OUT_OF_CORE, 3, r_m=5, s_m=2, pool=12)
+    cfg = res.config
+    assert cfg.algorithm is Algorithm.OUT_OF_CORE
+    assert cfg.initial_nodes == 3
+    assert cfg.workload.r_tuples == 5_000_000
+    assert cfg.workload.s_tuples == 2_000_000
+    assert cfg.cluster.n_potential_nodes == 12
+    assert cfg.workload.scale == 0.001
+
+
+def test_skew_parameter_switches_distribution(harness):
+    from repro.config import Distribution
+
+    uni = harness.run(Algorithm.SPLIT, 2)
+    skew = harness.run(Algorithm.SPLIT, 2, sigma=0.001)
+    assert uni.config.workload.distribution is Distribution.UNIFORM
+    assert skew.config.workload.distribution is Distribution.GAUSSIAN
+
+
+def test_algorithm_tuples_exported():
+    assert len(ALGORITHMS) == 4
+    assert len(EHJAS) == 3
+    assert Algorithm.OUT_OF_CORE not in EHJAS
+
+
+def test_fig12_report_structure(harness):
+    report = harness.fig12()
+    assert report.figure == "Figure 12"
+    assert len(report.rows) == 3           # the three EHJAs
+    assert len(report.headers) == 5
+    assert report.checks, "shape checks must be attached"
+    # CSV export round-trips the table shape
+    lines = report.to_csv().strip().splitlines()
+    assert len(lines) == 1 + len(report.rows)

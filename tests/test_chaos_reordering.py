@@ -1,0 +1,97 @@
+"""Chaos tests: the protocol must survive message reordering.
+
+The drain/termination argument (scheduler docstring) and the join-node
+shed-chain/pre-activation machinery are supposed to make the whole
+protocol insensitive to delivery order.  These tests inject uniform random
+per-message delivery jitter — up to many multiples of the base latency, so
+control and data messages genuinely overtake each other — and assert the
+global invariants still hold for every algorithm and skew.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import small_cluster, small_config, small_workload
+from repro.config import Algorithm, CostModel
+from repro.core import run_join
+
+
+def jittery_cluster(jitter_x: float, **kw):
+    cost = CostModel()
+    cost = replace(cost, net_jitter=cost.net_latency * jitter_x)
+    return small_cluster(cost=cost, **kw)
+
+
+@pytest.mark.parametrize("algorithm", list(Algorithm))
+def test_heavy_jitter_preserves_correctness(algorithm):
+    cfg = small_config(
+        algorithm, initial=2,
+        cluster=jittery_cluster(jitter_x=20.0),
+    )
+    res = run_join(cfg)  # validate=True checks matches + conservation
+    assert res.is_valid
+
+
+def test_jitter_with_skew_and_expansion():
+    cfg = small_config(
+        Algorithm.HYBRID, initial=2,
+        workload=small_workload(r=5000, s=5000, sigma=0.0001),
+        cluster=jittery_cluster(jitter_x=20.0, pool=24),
+    )
+    res = run_join(cfg)
+    assert res.is_valid
+    assert res.nodes_used > 2
+
+
+def test_jitter_with_output_expansion():
+    from repro.config import Distribution, WorkloadSpec
+
+    wl = WorkloadSpec(r_tuples=2000, s_tuples=2000, chunk_tuples=100,
+                      scale=1.0, distribution=Distribution.ZIPF, seed=5)
+    cfg = small_config(
+        Algorithm.SPLIT, initial=2, workload=wl,
+        cluster=jittery_cluster(jitter_x=20.0, pool=16),
+        materialize_output=True, probe_expansion=True,
+    )
+    res = run_join(cfg)
+    assert res.output_tuples + res.output_spilled_tuples == res.matches
+
+
+@given(
+    algorithm=st.sampled_from(list(Algorithm)),
+    jitter_x=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_any_jitter_level_preserves_the_answer(algorithm, jitter_x, seed):
+    cfg = small_config(
+        algorithm, initial=2,
+        workload=small_workload(r=2500, s=1500, seed=seed, chunk=100),
+        cluster=jittery_cluster(jitter_x=jitter_x, pool=10),
+    )
+    res = run_join(cfg)
+    assert res.is_valid
+
+
+def test_jitter_zero_is_default_and_deterministic():
+    cfg = small_config(Algorithm.SPLIT, initial=2)
+    assert cfg.effective_cluster.cost.net_jitter == 0.0
+    a = run_join(cfg)
+    b = run_join(cfg)
+    assert a.total_s == b.total_s
+    assert a.matches == b.matches
+    assert a.expansion_trace == b.expansion_trace
+
+
+def test_jittered_runs_are_reproducible():
+    """Jitter is drawn from a seeded stream: same config, same answer."""
+    cfg = small_config(Algorithm.HYBRID, initial=2,
+                       cluster=jittery_cluster(jitter_x=10.0))
+    a = run_join(cfg)
+    b = run_join(cfg)
+    assert a.total_s == b.total_s
+    assert a.expansion_trace == b.expansion_trace

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def small_args(extra):
+    """Keep CLI test runs tiny and fast."""
+    return extra + [
+        "--r-tuples", "0.004", "--s-tuples", "0.004",
+        "--scale", "1.0", "--chunk-tuples", "200",
+        "--pool", "8", "--sources", "2", "--node-memory-mb", "0.04",
+    ]
+
+
+def test_run_command_prints_summary(capsys):
+    rc = main(small_args(["run", "--algorithm", "hybrid",
+                          "--initial-nodes", "2"]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "hybrid" in out
+    assert "phases (paper-scale s)" in out
+
+
+def test_run_command_with_trace(capsys):
+    rc = main(small_args(["run", "--algorithm", "split",
+                          "--initial-nodes", "2", "--trace"]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "trace:" in out
+    assert "memory_full" in out
+
+
+def test_run_command_skew_and_policy(capsys):
+    rc = main(small_args(["run", "--algorithm", "split",
+                          "--initial-nodes", "2", "--sigma", "0.001",
+                          "--split-policy", "linear"]))
+    assert rc == 0
+
+
+def test_run_zipf_with_output_materialization(capsys):
+    rc = main(small_args(["run", "--algorithm", "replicate",
+                          "--initial-nodes", "2", "--zipf", "1.2",
+                          "--materialize-output", "--probe-expansion"]))
+    assert rc == 0
+
+
+def test_sweep_command_builds_table(capsys):
+    rc = main(small_args(["sweep", "--initial-nodes", "2,4",
+                          "--algorithms", "split,ooc"]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "initial nodes" in out and "split" in out and "ooc" in out
+    assert len(out.strip().splitlines()) == 4  # header + rule + 2 rows
+
+
+def test_figures_command_rejects_unknown(capsys):
+    rc = main(["figures", "--only", "fig99"])
+    assert rc == 2
+    assert "unknown figures" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_no_validate_flag(capsys):
+    rc = main(small_args(["run", "--algorithm", "ooc",
+                          "--initial-nodes", "2", "--no-validate"]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "MISMATCH" not in out

@@ -1,0 +1,112 @@
+"""Unit tests for configuration, validation, and the co-scaling rule."""
+
+import pytest
+
+from repro.config import (
+    Algorithm,
+    ClusterSpec,
+    CostModel,
+    Distribution,
+    MTUPLES,
+    RunConfig,
+    SplitPolicy,
+    WorkloadSpec,
+)
+
+
+def test_algorithm_expanding_flag():
+    assert Algorithm.SPLIT.is_expanding
+    assert Algorithm.REPLICATE.is_expanding
+    assert Algorithm.HYBRID.is_expanding
+    assert not Algorithm.OUT_OF_CORE.is_expanding
+
+
+def test_workload_real_counts_scale():
+    wl = WorkloadSpec(r_tuples=10 * MTUPLES, s_tuples=20 * MTUPLES,
+                      chunk_tuples=10_000, scale=0.01)
+    assert wl.real_r_tuples == 100_000
+    assert wl.real_s_tuples == 200_000
+    assert wl.real_chunk_tuples == 100
+    assert wl.chunk_bytes == 100 * wl.tuple_bytes
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(tuple_bytes=8)  # smaller than the two 64-bit fields
+    with pytest.raises(ValueError):
+        WorkloadSpec(scale=0.0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(scale=1.5)
+    with pytest.raises(ValueError):
+        WorkloadSpec(chunk_tuples=0)
+
+
+def test_cost_model_derived_times():
+    cost = CostModel(net_bandwidth=10e6, disk_bandwidth=5e6, disk_seek=0.01)
+    assert cost.wire_time(10e6) == pytest.approx(1.0)
+    assert cost.disk_time(5e6) == pytest.approx(1.01)
+
+
+def test_cost_model_scaling_rule():
+    cost = CostModel()
+    half = cost.scaled(0.5)
+    # fixed per-op costs shrink with scale
+    assert half.net_latency == pytest.approx(cost.net_latency * 0.5)
+    assert half.net_per_message_cpu == pytest.approx(
+        cost.net_per_message_cpu * 0.5)
+    assert half.disk_seek == pytest.approx(cost.disk_seek * 0.5)
+    # per-byte / per-tuple costs are untouched
+    assert half.net_bandwidth == cost.net_bandwidth
+    assert half.cpu_insert_tuple == cost.cpu_insert_tuple
+    assert half.disk_bandwidth == cost.disk_bandwidth
+    # receive window is counted in chunks: scale-invariant
+    assert half.recv_window_chunks == cost.recv_window_chunks
+    assert cost.scaled(1.0) is cost
+
+
+def test_cluster_spec_scaling_shrinks_memory_and_costs():
+    spec = ClusterSpec(hash_memory_bytes=1000,
+                       node_memory_overrides=((3, 2000),))
+    scaled = spec.scaled(0.1)
+    assert scaled.hash_memory_bytes == 100
+    assert scaled.memory_of(3) == 200
+    assert scaled.memory_of(0) == 100
+    assert scaled.cost.disk_seek == pytest.approx(spec.cost.disk_seek * 0.1)
+
+
+def test_run_config_validation():
+    with pytest.raises(ValueError):
+        RunConfig(initial_nodes=0)
+    with pytest.raises(ValueError):
+        RunConfig(initial_nodes=25, cluster=ClusterSpec(n_potential_nodes=24))
+    with pytest.raises(ValueError):
+        RunConfig(hash_positions=8, cluster=ClusterSpec(n_potential_nodes=24))
+
+
+def test_run_config_effective_cluster_scales_with_workload():
+    cfg = RunConfig(workload=WorkloadSpec(scale=0.5))
+    eff = cfg.effective_cluster
+    assert eff.hash_memory_bytes == ClusterSpec().hash_memory_bytes // 2
+    assert cfg.effective_drain_poll == pytest.approx(
+        cfg.drain_poll_interval * 0.5)
+
+
+def test_default_calibration_sixteen_nodes_hold_ten_million_tuples():
+    """Figure 2's anchor: 16 nodes' budget just covers 10M 100-byte tuples."""
+    wl = WorkloadSpec()  # 10M x 100B
+    spec = ClusterSpec()
+    per_node_tuples = spec.hash_memory_bytes // wl.tuple_bytes
+    assert 14 * per_node_tuples < wl.r_tuples <= 16 * per_node_tuples
+
+
+def test_split_policy_enum_values():
+    assert SplitPolicy("bisect") is SplitPolicy.TARGETED_BISECT
+    assert SplitPolicy("linear") is SplitPolicy.LINEAR_POINTER
+    assert SplitPolicy("linear_mod") is SplitPolicy.LINEAR_MOD
+    assert RunConfig().split_policy is SplitPolicy.TARGETED_BISECT
+
+
+def test_distribution_enum_roundtrip():
+    assert Distribution("uniform") is Distribution.UNIFORM
+    assert Distribution("gaussian") is Distribution.GAUSSIAN
+    assert Distribution("zipf") is Distribution.ZIPF

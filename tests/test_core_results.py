@@ -1,0 +1,84 @@
+"""Unit tests for run-result plumbing and the datasource/loadbalance glue."""
+
+import pytest
+
+from tests.conftest import small_config, small_workload
+from repro.analysis import load_balance
+from repro.config import Algorithm, RunConfig, WorkloadSpec
+from repro.core import run_join
+from repro.core.messages import Hop
+from repro.core.results import CommStats, NodeLoad, PhaseTimes
+
+
+def test_comm_stats_chunk_equivalents():
+    comm = CommStats(tuples_by_hop={Hop.SPLIT: 1000, Hop.FORWARD: 500})
+    assert comm.tuples(Hop.SPLIT) == 1000
+    assert comm.tuples(*Hop.BUILD_EXTRA) == 1500
+    assert comm.chunks_equivalent(100, *Hop.BUILD_EXTRA) == 15.0
+    assert comm.tuples(Hop.PROBE) == 0
+
+
+def test_phase_times_accessors():
+    t = PhaseTimes(build_s=2.0, reshuffle_s=1.0, probe_s=3.0, ooc_pass_s=0.5)
+    assert t.total_s == 6.5
+    assert t.table_building_s == 3.0
+
+
+def test_paper_scale_total_inverts_scale():
+    cfg = small_config(Algorithm.OUT_OF_CORE, initial=4)
+    res = run_join(cfg)
+    assert res.paper_scale_total_s == pytest.approx(res.total_s)
+    # at scale 0.5 the paper-scale figure doubles the simulated one
+    wl = WorkloadSpec(r_tuples=4000, s_tuples=4000, chunk_tuples=200,
+                      scale=0.5)
+    res2 = run_join(RunConfig(algorithm=Algorithm.OUT_OF_CORE,
+                              initial_nodes=4, workload=wl,
+                              cluster=cfg.cluster,
+                              hash_positions=1 << 12))
+    assert res2.paper_scale_total_s == pytest.approx(res2.total_s * 2)
+
+
+def test_load_balance_from_run():
+    res = run_join(small_config(Algorithm.HYBRID, initial=2))
+    lb = load_balance(res)
+    assert lb.nodes == res.nodes_used
+    assert lb.min_tuples <= lb.avg_tuples <= lb.max_tuples
+    assert lb.imbalance >= 1.0
+    assert lb.avg_chunks == pytest.approx(
+        lb.avg_tuples / res.config.workload.real_chunk_tuples)
+
+
+def test_load_balance_counts_spilled_tuples_as_load():
+    res = run_join(small_config(Algorithm.OUT_OF_CORE, initial=2))
+    lb = load_balance(res)
+    total = lb.avg_tuples * lb.nodes
+    assert total == pytest.approx(res.config.workload.real_r_tuples)
+
+
+def test_node_load_records_activation_times():
+    res = run_join(small_config(Algorithm.REPLICATE, initial=2))
+    initial_loads = [l for l in res.loads if l.node < 2]
+    recruited = [l for l in res.loads if l.node >= 2]
+    assert all(l.activated_at == 0.0 or l.activated_at < 0.01
+               for l in initial_loads)
+    assert all(l.activated_at > 0 for l in recruited)
+
+
+def test_expansion_trace_matches_loads():
+    res = run_join(small_config(Algorithm.SPLIT, initial=2))
+    recruited = {n for _, n in res.expansion_trace}
+    assert recruited == {l.node for l in res.loads} - {0, 1}
+
+
+def test_utilization_reported_per_active_node():
+    res = run_join(small_config(Algorithm.SPLIT, initial=2))
+    assert res.utilization, "utilization must be populated"
+    roles = {u.role for u in res.utilization}
+    assert roles == {"src", "join"}
+    for u in res.utilization:
+        for frac in (u.cpu, u.tx, u.rx, u.disk):
+            assert 0.0 <= frac <= 1.0
+    # source NICs do real work during the run
+    src_tx = [u.tx for u in res.utilization if u.role == "src"]
+    assert max(src_tx) > 0.05
+    assert "cpu=" in str(res.utilization[0])

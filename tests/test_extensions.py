@@ -1,0 +1,96 @@
+"""Tests for the fidelity extensions: recursive Grace passes, disk-backed
+sources, and the shared-hub topology."""
+
+import pytest
+
+from tests.conftest import small_cluster, small_config, small_workload
+from repro.config import Algorithm, Topology
+from repro.core import run_join
+
+
+# ----------------------------------------------------------------------
+# recursive Grace re-partitioning
+# ----------------------------------------------------------------------
+def test_oversized_spill_partition_recurses():
+    """Concentrated skew puts one sub-partition far over the memory budget,
+    forcing the classic Grace recursion — and the answer stays exact."""
+    cfg = small_config(
+        Algorithm.OUT_OF_CORE, initial=2,
+        workload=small_workload(r=8000, s=4000, sigma=0.00005),
+        cluster=small_cluster(memory=20_000),  # 200 tuples per node
+    )
+    res = run_join(cfg)  # oracle-checked
+    assert res.is_valid
+    recs = [r for r in res.tracer.records if r.category == "ooc_pass"]
+    assert recs, "the spilled node must run final passes"
+
+
+def test_uniform_spill_does_not_recurse_needlessly():
+    cfg = small_config(Algorithm.OUT_OF_CORE, initial=2)
+    res = run_join(cfg)
+    assert res.is_valid
+
+
+# ----------------------------------------------------------------------
+# disk-backed data sources
+# ----------------------------------------------------------------------
+def test_disk_sources_produce_identical_results_but_slower():
+    generated = run_join(small_config(Algorithm.HYBRID, initial=2))
+    from_disk = run_join(small_config(Algorithm.HYBRID, initial=2,
+                                      sources_from_disk=True))
+    assert from_disk.matches == generated.matches
+    # the ~6 MB/s source disks are slower than on-the-fly generation
+    assert from_disk.total_s > generated.total_s
+
+
+@pytest.mark.parametrize("algorithm", list(Algorithm))
+def test_disk_sources_validate_for_every_algorithm(algorithm):
+    res = run_join(small_config(algorithm, initial=2,
+                                sources_from_disk=True))
+    assert res.is_valid
+
+
+# ----------------------------------------------------------------------
+# shared-hub topology
+# ----------------------------------------------------------------------
+def test_hub_topology_validates_and_is_slower_than_switch():
+    switch = run_join(small_config(Algorithm.SPLIT, initial=2))
+    hub = run_join(small_config(
+        Algorithm.SPLIT, initial=2,
+        cluster=small_cluster(topology=Topology.SHARED_HUB),
+    ))
+    assert hub.is_valid
+    assert hub.matches == switch.matches
+    # one collision domain vs per-node ports: the hub must be slower
+    assert hub.total_s > 1.5 * switch.total_s
+
+
+@pytest.mark.parametrize("algorithm", list(Algorithm))
+def test_hub_topology_every_algorithm(algorithm):
+    res = run_join(small_config(
+        algorithm, initial=2,
+        cluster=small_cluster(topology=Topology.SHARED_HUB),
+    ))
+    assert res.is_valid
+
+
+def test_hub_hurts_broadcast_heavy_replication_most():
+    """Replication's probe broadcast shares one collision domain on a hub,
+    so moving from switch to hub slows replication by a larger factor than
+    the single-destination split algorithm."""
+    def slowdowns():
+        out = {}
+        for algorithm in (Algorithm.SPLIT, Algorithm.REPLICATE):
+            sw = run_join(small_config(
+                algorithm, initial=1,
+                cluster=small_cluster(topology=Topology.SWITCHED)),
+                validate=False)
+            hub = run_join(small_config(
+                algorithm, initial=1,
+                cluster=small_cluster(topology=Topology.SHARED_HUB)),
+                validate=False)
+            out[algorithm] = hub.total_s / sw.total_s
+        return out
+
+    factor = slowdowns()
+    assert factor[Algorithm.REPLICATE] > factor[Algorithm.SPLIT]

@@ -1,0 +1,134 @@
+"""Property-based tests for hash machinery invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    HashRange,
+    LinearHashDirectory,
+    PositionMap,
+    RangeRouter,
+    greedy_contiguous_partition,
+    partition_positions,
+    partition_range_by_counts,
+    ranges_partition_space,
+)
+
+P = 1 << 10
+
+
+@given(parts=st.integers(1, 64), positions=st.integers(64, 4096))
+@settings(max_examples=200, deadline=None)
+def test_partition_positions_always_tiles(parts, positions):
+    parts = min(parts, positions)
+    ranges = partition_positions(positions, parts)
+    assert ranges_partition_space(ranges, positions)
+    assert sum(r.width for r in ranges) == positions
+
+
+@given(
+    n_ops=st.integers(0, 12),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_range_router_tiles_after_any_mutation_sequence(n_ops, seed):
+    """Replicas and bisections, in any order, keep the space tiled and
+    every position routed to exactly one build destination."""
+    rng = np.random.default_rng(seed)
+    router = RangeRouter.initial(partition_positions(P, 4), [0, 1, 2, 3], P)
+    next_node = 10
+    for _ in range(n_ops):
+        idx = int(rng.integers(0, len(router.entries)))
+        rng_entry, chain = router.entries[idx]
+        if rng.random() < 0.5:
+            router = router.with_replica(idx, next_node, router.version + 1)
+        elif len(chain) == 1 and rng_entry.width >= 2:
+            router = router.with_bisection(idx, chain[0], next_node,
+                                           router.version + 1)
+        else:
+            continue
+        next_node += 1
+    ranges = [r for r, _ in router.entries]
+    assert ranges_partition_space(ranges, P)
+    positions = np.arange(P, dtype=np.int64)
+    build = router.partition_build(positions)
+    assert sum(v.size for v in build.values()) == P
+    merged = np.sort(np.concatenate(list(build.values())))
+    assert np.array_equal(merged, positions), "each position exactly once"
+    # probe covers every position at least once
+    probe = router.partition_probe(positions)
+    covered = np.unique(np.concatenate(list(probe.values())))
+    assert covered.size == P
+
+
+@given(splits=st.integers(0, 20), n0=st.integers(1, 6))
+@settings(max_examples=100, deadline=None)
+def test_linear_directory_invariants_over_any_split_count(splits, n0):
+    d = LinearHashDirectory(n0, list(range(n0)))
+    new = 100
+    for _ in range(splits):
+        t = d.begin_split(new)
+        d.check_invariants()
+        d.complete_split(t)
+        d.check_invariants()
+        new += 1
+    assert d.n_buckets == n0 + splits
+    router = d.router(version=1)
+    positions = np.arange(P, dtype=np.int64)
+    parts = router.partition_build(positions)
+    merged = np.sort(np.concatenate(list(parts.values())))
+    assert np.array_equal(merged, positions)
+    # every bucket's positions rehash to that bucket under the directory
+    buckets = router.bucket_of(positions)
+    assert buckets.min() >= 0 and buckets.max() < d.n_buckets
+
+
+@given(
+    weights=st.lists(st.integers(0, 1000), min_size=1, max_size=300),
+    parts=st.integers(1, 24),
+)
+@settings(max_examples=300, deadline=None)
+def test_greedy_partition_contiguity_coverage_balance(weights, parts):
+    w = np.array(weights, dtype=np.int64)
+    slices = greedy_contiguous_partition(w, parts)
+    assert len(slices) == parts
+    # contiguity + coverage
+    assert slices[0][0] == 0 and slices[-1][1] == len(w)
+    for (a, b), (c, d) in zip(slices, slices[1:]):
+        assert b == c and a <= b and c <= d
+    # the paper's balance guarantee: no slice exceeds ideal + max weight
+    total = int(w.sum())
+    if total > 0:
+        bound = total / parts + int(w.max())
+        for lo, hi in slices:
+            assert int(w[lo:hi].sum()) <= bound + 1e-9
+
+
+@given(
+    width=st.integers(2, 500),
+    parts=st.integers(1, 10),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_partition_range_by_counts_tiles_the_range(width, parts, seed):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 50, width)
+    hr = HashRange(100, 100 + width)
+    cuts = partition_range_by_counts(hr, counts, parts)
+    assert len(cuts) == parts
+    spans = [c for c in cuts if c is not None]
+    assert ranges_partition_space(
+        [HashRange(c.lo - 100, c.hi - 100) for c in spans], width
+    )
+
+
+@given(bits=st.integers(1, 20), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_position_map_bounds_and_monotonicity(bits, seed):
+    pm = PositionMap(1 << bits)
+    rng = np.random.default_rng(seed)
+    values = np.sort(rng.integers(0, 1 << 32, 500, dtype=np.uint64))
+    pos = pm(values)
+    assert pos.min() >= 0 and pos.max() < (1 << bits)
+    assert (np.diff(pos) >= 0).all()

@@ -1,0 +1,202 @@
+"""Unit tests for routing tables (range and linear-hash routers)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    HashRange,
+    LinearHashDirectory,
+    LinearHashRouter,
+    RangeRouter,
+    partition_positions,
+)
+
+P = 1 << 12
+
+
+def make_router(parts=4):
+    ranges = partition_positions(P, parts)
+    return RangeRouter.initial(ranges, list(range(parts)), P)
+
+
+def all_positions():
+    return np.arange(P, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# RangeRouter
+# ----------------------------------------------------------------------
+def test_initial_router_partitions_every_position():
+    router = make_router(4)
+    parts = router.partition_build(all_positions())
+    assert sorted(parts) == [0, 1, 2, 3]
+    assert sum(v.size for v in parts.values()) == P
+    # each position routed to the node owning its range
+    for node, idx in parts.items():
+        rng = router.entries[node][0]
+        assert ((idx >= rng.lo) & (idx < rng.hi)).all()
+
+
+def test_probe_equals_build_without_replicas():
+    router = make_router(3)
+    pos = np.random.default_rng(0).integers(0, P, 500)
+    b = router.partition_build(pos)
+    p = router.partition_probe(pos)
+    assert sorted(b) == sorted(p)
+    for n in b:
+        assert np.array_equal(np.sort(b[n]), np.sort(p[n]))
+
+
+def test_replica_changes_active_build_destination():
+    router = make_router(2)
+    v1 = router.with_replica(0, 7, version=1)
+    pos = all_positions()
+    build = v1.partition_build(pos)
+    assert 0 not in build, "old replica no longer receives build traffic"
+    assert 7 in build and 1 in build
+
+
+def test_probe_broadcasts_to_whole_chain():
+    router = make_router(2).with_replica(0, 7, 1).with_replica(0, 8, 2)
+    pos = all_positions()
+    probe = router.partition_probe(pos)
+    w = router.entries[0][0].width
+    assert probe[0].size == probe[7].size == probe[8].size == w
+    total = sum(v.size for v in probe.values())
+    assert total == P + 2 * w  # duplicates for the two extra replicas
+
+
+def test_bisection_splits_single_owner_range():
+    router = make_router(2)
+    v1 = router.with_bisection(1, keeper=1, new_node=9, version=1)
+    entries = v1.entries
+    assert len(entries) == 3
+    assert entries[1][1] == (1,) and entries[2][1] == (9,)
+    assert entries[1][0].hi == entries[2][0].lo
+    build = v1.partition_build(all_positions())
+    assert sum(v.size for v in build.values()) == P
+
+
+def test_bisect_replicated_range_rejected():
+    router = make_router(2).with_replica(0, 7, 1)
+    with pytest.raises(ValueError):
+        router.with_bisection(0, 0, 9, 2)
+
+
+def test_router_validation():
+    with pytest.raises(ValueError):  # gap
+        RangeRouter(P, ((HashRange(0, 10), (0,)),), 0)
+    with pytest.raises(ValueError):  # duplicate dest
+        RangeRouter(P, ((HashRange(0, P), (1, 1)),), 0)
+    with pytest.raises(ValueError):  # empty chain
+        RangeRouter(P, ((HashRange(0, P), ()),), 0)
+
+
+def test_entry_index_for_and_replicated_groups():
+    router = make_router(4).with_replica(2, 9, 1)
+    rng2 = router.entries[2][0]
+    assert router.entry_index_for(rng2.lo) == 2
+    assert router.entry_index_for(rng2.hi - 1) == 2
+    groups = router.replicated_groups()
+    assert len(groups) == 1 and groups[0][1] == (2, 9)
+
+
+def test_wire_bytes_grows_with_entries():
+    small = make_router(2)
+    big = make_router(16)
+    assert big.wire_bytes() > small.wire_bytes() > 0
+
+
+def test_owners_lists_every_destination():
+    router = make_router(2).with_replica(0, 7, 1)
+    assert router.owners() == {0, 1, 7}
+
+
+# ----------------------------------------------------------------------
+# LinearHashRouter (classic mod addressing)
+# ----------------------------------------------------------------------
+def test_linear_router_initial_matches_mod():
+    r = LinearHashRouter(n0=4, level=0, split_pointer=0,
+                         bucket_nodes=(10, 11, 12, 13))
+    pos = all_positions()
+    buckets = r.bucket_of(pos)
+    assert np.array_equal(buckets, pos % 4)
+    parts = r.partition_build(pos)
+    assert sorted(parts) == [10, 11, 12, 13]
+    assert sum(v.size for v in parts.values()) == P
+
+
+def test_linear_router_split_pointer_uses_next_level():
+    # n0=2, level=0, pointer=1: bucket 0 already split into {0, 2}.
+    r = LinearHashRouter(n0=2, level=0, split_pointer=1,
+                         bucket_nodes=(5, 6, 7))
+    pos = all_positions()
+    buckets = r.bucket_of(pos)
+    even = pos % 2 == 0
+    assert set(np.unique(buckets[even])) == {0, 2}
+    assert set(np.unique(buckets[~even])) == {1}
+    assert np.array_equal(buckets[even], pos[even] % 4)
+
+
+def test_linear_router_validation():
+    with pytest.raises(ValueError):
+        LinearHashRouter(0, 0, 0, ())
+    with pytest.raises(ValueError):
+        LinearHashRouter(2, 0, 2, (1, 2, 3, 4))
+    with pytest.raises(ValueError):  # wrong bucket count
+        LinearHashRouter(2, 0, 1, (1, 2))
+
+
+# ----------------------------------------------------------------------
+# LinearHashDirectory
+# ----------------------------------------------------------------------
+def test_directory_split_lifecycle():
+    d = LinearHashDirectory(2, [0, 1])
+    t = d.begin_split(new_node=5)
+    assert t.bucket == 0 and t.new_bucket == 2 and t.owner_node == 0
+    assert d.split_in_progress
+    with pytest.raises(RuntimeError):
+        d.begin_split(6)
+    with pytest.raises(RuntimeError):
+        d.router(1)
+    d.complete_split(t)
+    assert not d.split_in_progress
+    assert d.bucket_nodes == [0, 1, 5]
+    d.check_invariants()
+
+
+def test_directory_level_wraps_after_full_round():
+    d = LinearHashDirectory(2, [0, 1])
+    for new in (5, 6):
+        t = d.begin_split(new)
+        d.complete_split(t)
+        d.check_invariants()
+    assert d.level == 1
+    assert d.split_pointer == 0
+    assert d.n_buckets == 4
+
+
+def test_directory_router_reflects_completed_splits():
+    d = LinearHashDirectory(2, [0, 1])
+    t = d.begin_split(5)
+    d.complete_split(t)
+    r = d.router(version=3)
+    assert r.version == 3
+    assert r.n_buckets == 3
+    pos = all_positions()
+    parts = r.partition_build(pos)
+    assert sum(v.size for v in parts.values()) == P
+    assert set(parts) == {0, 1, 5}
+
+
+def test_directory_complete_wrong_ticket_rejected():
+    d = LinearHashDirectory(2, [0, 1])
+    t = d.begin_split(5)
+    d.complete_split(t)
+    with pytest.raises(RuntimeError):
+        d.complete_split(t)
+
+
+def test_directory_requires_one_node_per_bucket():
+    with pytest.raises(ValueError):
+        LinearHashDirectory(2, [0])

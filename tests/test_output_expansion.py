@@ -1,0 +1,94 @@
+"""Tests for probe-phase output materialization & expansion (footnote 1).
+
+The paper assumes probe-phase results are "written to disk or forwarded to
+the client"; footnote 1 notes the probing phase "can be executed using an
+adaptive algorithm that will expand to additional nodes to avoid memory
+overflow".  With ``materialize_output=True`` join nodes keep output pairs
+in their memory budget; with ``probe_expansion=True`` an overflowing node
+asks the scheduler for an *output sink* node and chains onto it.
+"""
+
+import pytest
+
+from tests.conftest import small_cluster, small_config
+from repro.config import Algorithm, Distribution, WorkloadSpec
+from repro.core import run_join
+from repro.core.messages import Hop
+
+
+def zipf_workload(n=2000):
+    """Duplicate-heavy values -> output far larger than the inputs."""
+    return WorkloadSpec(r_tuples=n, s_tuples=n, chunk_tuples=100, scale=1.0,
+                        distribution=Distribution.ZIPF, zipf_s=1.1, seed=5)
+
+
+def run(algorithm=Algorithm.SPLIT, **kw):
+    kw.setdefault("workload", zipf_workload())
+    kw.setdefault("materialize_output", True)
+    return run_join(small_config(algorithm, initial=2, **kw))
+
+
+def test_output_accounting_balances():
+    """Every match is either in memory or on disk (driver-checked too)."""
+    res = run()
+    assert res.output_tuples + res.output_spilled_tuples == res.matches
+    assert res.matches > res.config.workload.real_r_tuples  # output amplification
+
+
+def test_without_expansion_overflow_spills_to_disk():
+    res = run(probe_expansion=False)
+    assert res.output_sink_nodes == 0
+    assert res.output_spilled_tuples > 0
+    assert res.output_tuples > 0  # memory filled before spilling started
+
+
+def test_expansion_recruits_output_sinks():
+    res = run(probe_expansion=True, cluster=small_cluster(pool=20))
+    assert res.output_sink_nodes > 0
+    assert res.comm.tuples_by_hop.get(Hop.OUTPUT, 0) > 0
+    # sinks keep more pairs in memory than the no-expansion run
+    baseline = run(probe_expansion=False)
+    assert res.output_tuples > baseline.output_tuples
+    assert res.matches == baseline.matches
+
+
+def test_sinks_chain_when_they_overflow():
+    """With a tiny per-node budget a single sink cannot hold the output."""
+    res = run(probe_expansion=True, cluster=small_cluster(pool=20))
+    assert res.output_sink_nodes >= 2
+
+
+def test_exhausted_pool_falls_back_to_disk():
+    res = run(probe_expansion=True, cluster=small_cluster(pool=3))
+    assert res.output_spilled_tuples > 0
+    assert res.output_tuples + res.output_spilled_tuples == res.matches
+
+
+def test_ooc_pass_output_counts_as_spilled():
+    res = run(Algorithm.OUT_OF_CORE)
+    assert res.output_spilled_tuples == res.matches
+    assert res.output_tuples == 0  # full-Grace: nothing stays in memory
+
+
+def test_materialization_off_keeps_zero_output_counters():
+    res = run(materialize_output=False)
+    assert res.output_tuples == 0
+    assert res.output_spilled_tuples == 0
+    assert res.output_sink_nodes == 0
+
+
+@pytest.mark.parametrize("algorithm",
+                         [Algorithm.REPLICATE, Algorithm.HYBRID])
+def test_materialization_composes_with_other_strategies(algorithm):
+    res = run(algorithm, probe_expansion=True,
+              cluster=small_cluster(pool=20))
+    assert res.output_tuples + res.output_spilled_tuples == res.matches
+
+
+def test_matches_unchanged_by_output_handling():
+    answers = {
+        run(probe_expansion=False).matches,
+        run(probe_expansion=True, cluster=small_cluster(pool=20)).matches,
+        run(materialize_output=False).matches,
+    }
+    assert len(answers) == 1

@@ -1,0 +1,107 @@
+"""Property-based whole-system tests.
+
+The strongest invariant in the repository: for *any* workload, algorithm,
+memory budget and initial-node count, the distributed simulated join
+produces exactly the sequential oracle's match count, loses no build
+tuples, and conserves network bytes.  ``run_join(validate=True)`` asserts
+all of that internally; hypothesis drives the configuration space.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import small_cluster, small_config, small_workload
+from repro.config import Algorithm, SplitPolicy
+from repro.core import run_join
+
+algorithms = st.sampled_from(list(Algorithm))
+policies = st.sampled_from(list(SplitPolicy))
+
+
+@given(
+    algorithm=algorithms,
+    initial=st.integers(1, 6),
+    r=st.integers(50, 3000),
+    s=st.integers(50, 3000),
+    memory_tuples=st.integers(80, 600),
+    sigma=st.one_of(st.none(), st.sampled_from([0.01, 0.001, 0.0001])),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_any_configuration_joins_correctly(
+    algorithm, initial, r, s, memory_tuples, sigma, seed
+):
+    cfg = small_config(
+        algorithm,
+        initial=initial,
+        workload=small_workload(r=r, s=s, sigma=sigma, seed=seed, chunk=100),
+        cluster=small_cluster(pool=10, memory=memory_tuples * 100),
+    )
+    res = run_join(cfg)  # validate=True raises on any mismatch
+    assert res.is_valid
+    assert res.nodes_used >= initial
+    assert res.total_s > 0
+
+
+@given(
+    policy=policies,
+    initial=st.integers(1, 4),
+    sigma=st.one_of(st.none(), st.just(0.0001)),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_every_split_policy_joins_correctly(policy, initial, sigma, seed):
+    cfg = small_config(
+        Algorithm.SPLIT,
+        initial=initial,
+        split_policy=policy,
+        workload=small_workload(r=2500, s=1500, sigma=sigma, seed=seed,
+                                chunk=100),
+        cluster=small_cluster(pool=12, memory=30_000),
+    )
+    res = run_join(cfg)
+    assert res.is_valid
+
+
+@given(
+    algorithm=algorithms,
+    chunk=st.sampled_from([50, 100, 300, 999]),
+    sources=st.integers(1, 4),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_chunking_and_source_count_never_change_the_answer(
+    algorithm, chunk, sources
+):
+    results = set()
+    cfg = small_config(
+        algorithm,
+        initial=2,
+        workload=small_workload(r=2000, s=2000, chunk=chunk, seed=3),
+        cluster=small_cluster(pool=8, sources=sources),
+    )
+    res = run_join(cfg)
+    assert res.is_valid
+    results.add(res.matches)
+    assert len(results) == 1
+
+
+@given(memory=st.integers(5_000, 200_000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_memory_budget_never_exceeded_without_record(memory):
+    """Peak memory stays within budget except for recorded reshuffle
+    overcommit."""
+    cfg = small_config(
+        Algorithm.HYBRID,
+        initial=2,
+        workload=small_workload(r=3000, s=1000, sigma=0.001),
+        cluster=small_cluster(pool=12, memory=memory),
+    )
+    res = run_join(cfg)
+    budget = cfg.effective_cluster.hash_memory_bytes
+    for load in res.loads:
+        assert load.peak_memory <= budget + res.overcommit_bytes

@@ -1,0 +1,107 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Mailbox, Resource, Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        ev = sim.event()
+        ev.add_callback(lambda e, d=d: fired.append(sim.now))
+        ev.succeed(None, delay=d)
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_equal_time_events_fire_in_creation_order(delays):
+    sim = Simulator()
+    fired = []
+    # Mix the given delays with a block of equal-time events.
+    for i, d in enumerate(delays):
+        ev = sim.event()
+        ev.add_callback(lambda e, i=i: fired.append(i))
+        ev.succeed(None, delay=50.0)  # all equal
+    sim.run()
+    assert fired == list(range(len(delays)))
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    durations=st.lists(st.floats(min_value=0.001, max_value=10.0,
+                                 allow_nan=False), min_size=1, max_size=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, durations):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    max_seen = 0
+
+    def user(sim, res, d):
+        nonlocal max_seen
+        yield res.acquire()
+        max_seen = max(max_seen, res.in_use)
+        assert res.in_use <= capacity
+        yield sim.timeout(d)
+        res.release()
+
+    for d in durations:
+        sim.spawn(user(sim, res, d))
+    sim.run()
+    assert 1 <= max_seen <= capacity
+    assert res.in_use == 0
+
+
+@given(
+    messages=st.lists(st.integers(), min_size=1, max_size=50),
+    consumer_delay=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_mailbox_preserves_message_order(messages, consumer_delay):
+    sim = Simulator()
+    box = Mailbox(sim)
+    got = []
+
+    def consumer(sim, box, n):
+        for _ in range(n):
+            msg = yield box.get()
+            got.append(msg)
+            if consumer_delay:
+                yield sim.timeout(consumer_delay)
+
+    def producer(sim, box):
+        for m in messages:
+            yield sim.timeout(0.5)
+            box.put(m)
+
+    sim.spawn(consumer(sim, box, len(messages)))
+    sim.spawn(producer(sim, box))
+    sim.run()
+    assert got == messages
+
+
+@given(n_procs=st.integers(min_value=1, max_value=20),
+       duration=st.floats(min_value=0.1, max_value=2.0, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_serial_resource_total_time_is_sum(n_procs, duration):
+    """FIFO single-capacity resource: makespan == n * duration exactly."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(sim, res):
+        yield from res.use(duration)
+
+    for _ in range(n_procs):
+        sim.spawn(user(sim, res))
+    sim.run()
+    assert sim.now == sum([duration] * n_procs)
