@@ -8,7 +8,6 @@ the greedy reshuffle cut, and raw event throughput of the DES kernel.
 """
 
 import numpy as np
-import pytest
 
 from repro.config import Algorithm, ClusterSpec, RunConfig, WorkloadSpec
 from repro.core import run_join

@@ -18,7 +18,7 @@ side.  Two placements are compared:
     python examples/multiway_pipeline.py
 """
 
-from repro import Algorithm, ClusterSpec, CostModel, RunConfig, WorkloadSpec, run_join
+from repro import Algorithm, CostModel, RunConfig, WorkloadSpec, run_join
 
 
 def run_level(r_tuples, s_tuples, seed):

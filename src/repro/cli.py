@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Five commands:
 
 * ``run``     — one simulated join, printing the phase/traffic summary.
 * ``sweep``   — a grid of runs (algorithms x initial nodes), as a table.
 * ``figures`` — regenerate the paper's figures (or a subset) and print /
   save the reproduction reports.
+* ``trace``   — run one join and export its execution trace (Chrome
+  ``trace_event`` JSON for chrome://tracing / Perfetto, or JSONL).
+* ``metrics`` — run one join and dump the metrics registry snapshot.
 
 Examples::
 
@@ -13,11 +16,14 @@ Examples::
     python -m repro run --algorithm split --sigma 0.0001 --trace
     python -m repro sweep --initial-nodes 1,2,4,8,16
     python -m repro figures --only fig02 fig10 --out reports.md
+    python -m repro trace --algorithm hybrid --format chrome --out trace.json
+    python -m repro metrics --algorithm split --format table
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -48,7 +54,8 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="Gaussian skew (fraction of the value range); "
                         "omit for uniform data")
     p.add_argument("--zipf", type=float, default=None, metavar="S",
-                   help="Zipf exponent (> 1); overrides --sigma")
+                   help="Zipf exponent (> 1); mutually exclusive with "
+                        "--sigma")
     p.add_argument("--chunk-tuples", type=int, default=10_000)
     p.add_argument("--scale", type=float, default=WorkloadSpec().scale,
                    help="down-scaling factor (default 1/50); 1.0 = full size")
@@ -74,6 +81,8 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
 
 
 def _workload(args: argparse.Namespace) -> WorkloadSpec:
+    # --zipf and --sigma are rejected as a pair up front (see main()), so
+    # the branches below never silently discard a skew request.
     if args.zipf is not None:
         dist, sigma = Distribution.ZIPF, 0.001
     elif args.sigma is not None:
@@ -103,7 +112,7 @@ def _cluster(args: argparse.Namespace) -> ClusterSpec:
 
 
 def _config(args: argparse.Namespace, algorithm: Algorithm,
-            initial_nodes: int) -> RunConfig:
+            initial_nodes: int, force_trace: bool = False) -> RunConfig:
     return RunConfig(
         algorithm=algorithm,
         initial_nodes=initial_nodes,
@@ -113,7 +122,8 @@ def _config(args: argparse.Namespace, algorithm: Algorithm,
         materialize_output=args.materialize_output,
         probe_expansion=args.probe_expansion,
         sources_from_disk=args.sources_from_disk,
-        trace=args.trace,
+        trace=args.trace or force_trace,
+        trace_buffer=args.trace_buffer,
     )
 
 
@@ -199,6 +209,68 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0 if all(r.all_passed for r in reports) else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import chrome_trace, trace_to_jsonl
+
+    algorithm = Algorithm(args.algorithm)
+    initial = int(args.initial_nodes.split(",")[0])
+    cfg = _config(args, algorithm, initial, force_trace=True)
+    res = run_join(cfg, validate=not args.no_validate)
+    if args.format == "chrome":
+        payload = json.dumps(chrome_trace(res), indent=1) + "\n"
+    else:
+        lines = list(trace_to_jsonl(res.tracer))
+        payload = "\n".join(lines) + ("\n" if lines else "")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"wrote {args.out} ({args.format})")
+        print()
+        print(res.timeline.render())
+    else:
+        print(payload, end="")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import metrics_to_jsonl
+
+    algorithm = Algorithm(args.algorithm)
+    initial = int(args.initial_nodes.split(",")[0])
+    cfg = _config(args, algorithm, initial)
+    res = run_join(cfg, validate=not args.no_validate)
+    if args.format == "jsonl":
+        payload = "\n".join(metrics_to_jsonl(res.metrics))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.out} ({len(res.metrics)} instruments)")
+        else:
+            print(payload)
+        return 0
+    rows = []
+    for inst in res.metrics:
+        # The table view hides instruments that never fired (the registry
+        # eagerly instruments every pool node); --format jsonl keeps them.
+        labels = ",".join(f"{k}={v}" for k, v in sorted(inst["labels"].items()))
+        if inst["type"] == "counter":
+            if not inst["value"]:
+                continue
+            value = f"{inst['value']:g}"
+        elif inst["type"] == "gauge":
+            if inst["samples"] == 0:
+                continue
+            value = f"last={inst['last']:g} high={inst['high']:g}"
+        else:
+            if not inst["total_seconds"]:
+                continue
+            value = (f"mean={inst['time_weighted_mean']:.3f} "
+                     f"high={inst['high']:g}")
+        rows.append([inst["name"], labels, inst["type"], value])
+    print(format_table(["metric", "labels", "type", "value"], rows))
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -222,12 +294,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the sequential-oracle check")
     common.add_argument("--trace", action="store_true",
                         help="collect and print the protocol trace")
+    common.add_argument("--trace-buffer", type=int, default=None,
+                        metavar="N",
+                        help="keep only the most recent N trace records "
+                             "(bounded-buffer mode; default unbounded)")
 
     p_run = sub.add_parser("run", parents=[common],
                            help="run one simulated join")
     p_run.add_argument("--algorithm", default="hybrid",
                        choices=[a.value for a in Algorithm])
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", parents=[common],
+        help="run one join and export its execution trace",
+    )
+    p_trace.add_argument("--algorithm", default="hybrid",
+                         choices=[a.value for a in Algorithm])
+    p_trace.add_argument("--format", default="chrome",
+                         choices=["chrome", "jsonl"],
+                         help="chrome trace_event JSON (chrome://tracing / "
+                              "Perfetto) or JSONL records")
+    p_trace.add_argument("--out", help="write here instead of stdout "
+                                       "(also prints the phase timeline)")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", parents=[common],
+        help="run one join and dump the metrics registry",
+    )
+    p_metrics.add_argument("--algorithm", default="hybrid",
+                           choices=[a.value for a in Algorithm])
+    p_metrics.add_argument("--format", default="table",
+                           choices=["table", "jsonl"])
+    p_metrics.add_argument("--out", help="write JSONL here instead of stdout")
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_sweep = sub.add_parser("sweep", parents=[common],
                              help="grid of runs: algorithms x initial nodes")
@@ -248,7 +349,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "zipf", None) is not None:
+        if getattr(args, "sigma", None) is not None:
+            parser.error(
+                "--zipf and --sigma are mutually exclusive skew knobs; "
+                "pass exactly one"
+            )
+        if args.zipf <= 1.0:
+            parser.error(f"--zipf exponent must be > 1, got {args.zipf}")
     return args.func(args)
 
 

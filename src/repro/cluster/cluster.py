@@ -9,6 +9,7 @@ join nodes of which ``initial_nodes`` are working at start and the rest are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Optional
 
 from ..config import ClusterSpec
 from ..sim import Simulator
@@ -16,6 +17,25 @@ from .network import Network
 from .node import Node
 
 __all__ = ["Cluster"]
+
+
+def _instrument(node: Node, metrics: Any) -> None:
+    """Wire one node's hardware into the metrics registry.
+
+    Mailbox depth becomes a time-weighted histogram, the memory account
+    gains a usage-timeline gauge, and disk transfers publish byte counters
+    as they complete (see ``docs/OBSERVABILITY.md`` for the catalogue).
+    """
+    node.mailbox.depth_probe = metrics.histogram(
+        "mailbox.depth", node=node.name
+    )
+    node.disk.written_counter = metrics.counter(
+        "disk.bytes_written", node=node.name
+    )
+    node.disk.read_counter = metrics.counter("disk.bytes_read", node=node.name)
+    if node.memory.capacity > 0:
+        node.memory.usage_probe = metrics.gauge("mem.used_bytes", node=node.name)
+        node.memory.clock = lambda: node.sim.now
 
 
 @dataclass
@@ -30,7 +50,9 @@ class Cluster:
     join_nodes: list[Node] = field(default_factory=list)
 
     @classmethod
-    def build(cls, sim: Simulator, spec: ClusterSpec) -> "Cluster":
+    def build(
+        cls, sim: Simulator, spec: ClusterSpec, metrics: Optional[Any] = None
+    ) -> "Cluster":
         from ..config import Topology
 
         network = Network(
@@ -60,7 +82,7 @@ class Cluster:
             )
             next_id += 1
 
-        return cls(
+        cluster = cls(
             sim=sim,
             spec=spec,
             network=network,
@@ -68,6 +90,10 @@ class Cluster:
             source_nodes=source_nodes,
             join_nodes=join_nodes,
         )
+        if metrics is not None:
+            for node in cluster.all_nodes:
+                _instrument(node, metrics)
+        return cluster
 
     def join_node(self, index: int) -> Node:
         """Potential/working join node by pool index (0-based)."""

@@ -7,7 +7,7 @@ requests queue FIFO like a real single-spindle 2004 IDE disk.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from ..config import CostModel
 from ..sim import Resource, Simulator
@@ -16,7 +16,13 @@ __all__ = ["Disk"]
 
 
 class Disk:
-    """A single-spindle disk with batched sequential transfers."""
+    """A single-spindle disk with batched sequential transfers.
+
+    Byte/op counters are credited only once a transfer *completes*: a
+    process interrupted while queued for the device — or mid-transfer —
+    performed no I/O, so it must not inflate the accounting the OOC
+    figures are computed from.
+    """
 
     def __init__(self, sim: Simulator, cost: CostModel, name: str = "disk"):
         self.sim = sim
@@ -26,22 +32,30 @@ class Disk:
         self.bytes_written = 0
         self.bytes_read = 0
         self.ops = 0
+        #: optional live metric counters (objects with ``inc(n)``; wired by
+        #: the cluster's metrics setup)
+        self.written_counter: Optional[Any] = None
+        self.read_counter: Optional[Any] = None
 
     def write(self, nbytes: int) -> Generator[Any, Any, None]:
         """Charge one batched write of ``nbytes`` (yield-from inside a process)."""
         if nbytes < 0:
             raise ValueError("negative write size")
+        yield from self._device.use(self.cost.disk_time(nbytes))
         self.bytes_written += nbytes
         self.ops += 1
-        yield from self._device.use(self.cost.disk_time(nbytes))
+        if self.written_counter is not None:
+            self.written_counter.inc(nbytes)
 
     def read(self, nbytes: int) -> Generator[Any, Any, None]:
         """Charge one batched read of ``nbytes`` (yield-from inside a process)."""
         if nbytes < 0:
             raise ValueError("negative read size")
+        yield from self._device.use(self.cost.disk_time(nbytes))
         self.bytes_read += nbytes
         self.ops += 1
-        yield from self._device.use(self.cost.disk_time(nbytes))
+        if self.read_counter is not None:
+            self.read_counter.inc(nbytes)
 
     @property
     def busy_time(self) -> float:

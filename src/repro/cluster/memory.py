@@ -7,6 +7,8 @@ is exactly the paper's "memory full" condition that triggers expansion.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 __all__ = ["MemoryAccount", "MemoryFullError"]
 
 
@@ -32,6 +34,15 @@ class MemoryAccount:
         self._used = 0
         #: high-water mark (diagnostics / load metrics)
         self.peak = 0
+        #: optional usage timeline (any object with ``set(time, bytes)``;
+        #: wired by the cluster's metrics setup); paired ``clock`` supplies
+        #: timestamps since the account itself is simulator-agnostic
+        self.usage_probe: Optional[Any] = None
+        self.clock: Any = None
+
+    def _sample_usage(self) -> None:
+        if self.usage_probe is not None:
+            self.usage_probe.set(self.clock() if self.clock else 0.0, self._used)
 
     @property
     def used(self) -> int:
@@ -57,6 +68,7 @@ class MemoryAccount:
         self._used += nbytes
         if self._used > self.peak:
             self.peak = self._used
+        self._sample_usage()
         return True
 
     def alloc(self, nbytes: int) -> None:
@@ -72,6 +84,7 @@ class MemoryAccount:
                 f"freeing {nbytes} bytes but only {self._used} are in use"
             )
         self._used -= nbytes
+        self._sample_usage()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -315,10 +315,15 @@ class RunConfig:
     #: scheduler poll interval for drain/termination detection (seconds)
     drain_poll_interval: float = 0.010
     trace: bool = True
+    #: cap on retained trace records (None = unbounded); with a bound the
+    #: tracer keeps the most recent records and counts the dropped ones
+    trace_buffer: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.initial_nodes < 1:
             raise ValueError("initial_nodes must be >= 1")
+        if self.trace_buffer is not None and self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be >= 1 (or None)")
         if self.initial_nodes > self.cluster.n_potential_nodes:
             raise ValueError(
                 f"initial_nodes={self.initial_nodes} exceeds pool size "

@@ -13,6 +13,7 @@ from typing import Any, Generator
 from ..cluster import Cluster, Node
 from ..config import RunConfig
 from ..hashing import PositionMap
+from ..obs import MetricsRegistry, SpanLog
 from ..sim import Simulator, Tracer
 from .messages import DataChunk
 from .results import CommStats
@@ -26,9 +27,13 @@ class RunContext:
     def __init__(self, sim: Simulator, cfg: RunConfig):
         self.sim = sim
         self.cfg = cfg
-        self.cluster = Cluster.build(sim, cfg.effective_cluster)
+        self.metrics = MetricsRegistry(clock=lambda: sim.now)
+        self.spans = SpanLog()
+        self.cluster = Cluster.build(
+            sim, cfg.effective_cluster, metrics=self.metrics
+        )
         self.posmap = PositionMap(cfg.hash_positions, mix=cfg.mix_hash)
-        self.tracer = Tracer(enabled=cfg.trace)
+        self.tracer = Tracer(enabled=cfg.trace, maxlen=cfg.trace_buffer)
         self.comm = CommStats()
         self.cost = cfg.effective_cluster.cost
         # Barrier-split-pointer semantics (§4.2.1): at most one split's

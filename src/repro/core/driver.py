@@ -16,6 +16,14 @@ from __future__ import annotations
 
 from ..config import Algorithm, RunConfig
 from ..data import materialize_relation
+from ..obs import (
+    PHASE_NAMES,
+    SCHEDULER_TRACK,
+    PhaseTimeline,
+    harvest_network,
+    harvest_nodes,
+    harvest_simulator,
+)
 from ..seqjoin import match_count
 from ..sim import Simulator
 from .context import RunContext
@@ -71,6 +79,21 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
         probe_s=outcome.t_probe - outcome.t_reshuffle,
         ooc_pass_s=outcome.t_ooc - outcome.t_probe,
     )
+
+    # Scheduler-track phase spans come straight from the outcome stamps, so
+    # the chrome trace's phase lanes agree with PhaseTimes by construction.
+    boundaries = (
+        0.0, outcome.t_build, outcome.t_reshuffle, outcome.t_probe,
+        outcome.t_ooc,
+    )
+    for name, t0, t1 in zip(PHASE_NAMES, boundaries, boundaries[1:]):
+        if t1 > t0 or name == "build":
+            ctx.spans.add(SCHEDULER_TRACK, name, t0, t1)
+
+    harvest_simulator(ctx.metrics, sim)
+    harvest_network(ctx.metrics, ctx.cluster.network)
+    harvest_nodes(ctx.metrics, ctx.cluster.all_nodes)
+    ctx.metrics.close()
 
     reports = outcome.final_reports
     loads = [
@@ -129,6 +152,9 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
         output_sink_nodes=sum(
             1 for r in reports.values() if r.is_output_sink
         ),
+        timeline=PhaseTimeline(ctx.spans.spans),
+        metrics=ctx.metrics.snapshot(),
+        tracer=ctx.tracer,
     )
     if validate and cfg.materialize_output:
         kept = result.output_tuples + result.output_spilled_tuples
@@ -149,6 +175,4 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
                 disk=node.disk.busy_time / total,
             ))
 
-    # Expose the trace for tests/examples without widening the result type.
-    result.tracer = ctx.tracer  # type: ignore[attr-defined]
     return result

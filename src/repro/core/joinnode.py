@@ -187,6 +187,12 @@ class JoinProcess:
         self.auto_spill = auto_spill  # OOC baseline behaviour
         self.state = self.DORMANT
         self.store = NodeHashStore(ctx.posmap)
+        self.store.inserted_counter = ctx.metrics.counter(
+            "hash.inserted_tuples", node=self.node.name
+        )
+        self.store.match_counter = ctx.metrics.counter(
+            "hash.matches", node=self.node.name
+        )
         self.spill: Optional[SpillStore] = None
         self.my_range: Optional[HashRange] = None
         self.bucket: Optional[int] = None
@@ -196,6 +202,7 @@ class JoinProcess:
         self.pre_activation: deque[DataChunk] = deque()
         self.full_pending = False
         self.activated_at: float = float("nan")
+        self.probe_started_at: float = float("nan")
         self.matches = 0
         self.overcommit_bytes = 0
         # drain counters (chunks)
@@ -274,6 +281,8 @@ class JoinProcess:
         self.is_output_sink = msg.output_sink
         self.state = self.PROBE if msg.phase == "probe" else self.BUILD
         self.activated_at = self.ctx.sim.now
+        if self.state == self.PROBE:  # probe-phase recruit (output sink)
+            self.probe_started_at = self.activated_at
         self.ctx.trace("activate", f"join{self.index}",
                        range=str(msg.hash_range), bucket=msg.bucket)
         if self.auto_spill is False and self.ctx.cfg.algorithm.value == "ooc":
@@ -479,6 +488,13 @@ class JoinProcess:
             self.transfers_pending -= 1
             if hop == Hop.SPLIT:
                 self.split_transfer_s += self.ctx.sim.now - t0
+            if hop in (Hop.SPLIT, Hop.RESHUFFLE):
+                self.ctx.spans.add(
+                    f"join{self.index}",
+                    "split" if hop == Hop.SPLIT else "reshuffle",
+                    t0, self.ctx.sim.now,
+                    dest=dest, tuples=int(values.size),
+                )
 
     # ------------------------------------------------------------------
     # relief orders
@@ -652,6 +668,12 @@ class JoinProcess:
             f"join{self.index} entered probe with parked build data"
         )
         self.state = self.PROBE
+        self.probe_started_at = self.ctx.sim.now
+        if self.activated_at == self.activated_at:  # not NaN
+            self.ctx.spans.add(
+                f"join{self.index}", "build",
+                self.activated_at, self.probe_started_at,
+            )
         # One consolidation/sort pass over the stored table.
         yield from self.node.compute_per_tuple(
             self.ctx.cost.cpu_repack_tuple, self.store.stored_tuples
@@ -766,8 +788,18 @@ class JoinProcess:
     # OOC final passes & shutdown
     # ------------------------------------------------------------------
     def _on_finalize_pass(self, msg: FinalizePass) -> Generator[Any, Any, None]:
+        if self.probe_started_at == self.probe_started_at:  # not NaN
+            self.ctx.spans.add(
+                f"join{self.index}", "probe",
+                self.probe_started_at, self.ctx.sim.now,
+            )
         if self.spill is not None:
+            t0 = self.ctx.sim.now
             found = yield from self.spill.final_passes()
+            self.ctx.spans.add(
+                f"join{self.index}", "ooc", t0, self.ctx.sim.now,
+                matches=found,
+            )
             self.matches += found
             if found and self.ctx.cfg.materialize_output:
                 # Pairs produced by the disk passes go straight to the

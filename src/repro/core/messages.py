@@ -19,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..config import CostModel
-from ..hashing import HashRange, LinearHashRouter, RangeRouter, Router
+from ..hashing import HashRange, Router
 
 __all__ = [
     "CONTROL_BYTES",

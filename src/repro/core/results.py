@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..config import RunConfig
+from ..obs import PhaseTimeline
 
 __all__ = ["NodeLoad", "CommStats", "PhaseTimes", "JoinRunResult"]
 
@@ -103,6 +104,14 @@ class JoinRunResult:
     output_sink_nodes: int = 0
     #: busy-time fractions of every node that did work (sources + joins)
     utilization: list["NodeUtilization"] = field(default_factory=list)
+    #: phase/span timeline (scheduler phases + per-node activity spans);
+    #: feed to :func:`repro.obs.chrome_trace` for a Perfetto-loadable file
+    timeline: Optional[PhaseTimeline] = None
+    #: end-of-run metrics snapshot (list of instrument dicts, see
+    #: :meth:`repro.obs.MetricsRegistry.snapshot`)
+    metrics: list[dict] = field(default_factory=list)
+    #: raw event tracer from the run (None when tracing is disabled)
+    tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property

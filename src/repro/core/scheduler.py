@@ -44,10 +44,8 @@ from .messages import (
     ReshuffleDone,
     SpillOrder,
     ReshuffleOrder,
-    RouteUpdate,
     Shutdown,
     SourceDone,
-    SplitDone,
     StartProbe,
     StatusReport,
     StatusRequest,
@@ -264,6 +262,8 @@ class SchedulerProcess:
         assert not self.relief_active, "relief cycles are serialized"
         self.relief_active = True
         self._prev_round = None
+        t0 = self.ctx.sim.now
+        self.ctx.metrics.inc("sched.relief_cycles", 1, phase="build")
         try:
             # Re-check first: an earlier split in this queue may already
             # have relieved the reporter (round-robin pointer policies
@@ -277,6 +277,9 @@ class SchedulerProcess:
                 self.full_queue.append(reporter)
         finally:
             self.relief_active = False
+            self.ctx.metrics.set_gauge(
+                "sched.relief_latency_s", self.ctx.sim.now - t0, phase="build"
+            )
 
     def _dispatch_phase(self, msg: Any) -> Generator[Any, Any, None]:
         """Main-loop dispatch for build/probe phases."""
@@ -301,6 +304,7 @@ class SchedulerProcess:
         self._poll_token += 1
         self._round_reports = {}
         self._round_nodes = tuple(self.activated)
+        self.ctx.metrics.inc("sched.drain_rounds", 1, phase=self._phase)
         for j in self._round_nodes:
             yield from self.send_to_join(j, StatusRequest(self._poll_token))
 
@@ -447,6 +451,8 @@ class SchedulerProcess:
         assert not self.relief_active, "relief cycles are serialized"
         self.relief_active = True
         self._prev_round = None
+        t0 = self.ctx.sim.now
+        self.ctx.metrics.inc("sched.relief_cycles", 1, phase="probe")
         try:
             new_node = self.alloc_node()
             if new_node is None:
@@ -467,6 +473,9 @@ class SchedulerProcess:
             yield from self.await_relief_ack(reporter)
         finally:
             self.relief_active = False
+            self.ctx.metrics.set_gauge(
+                "sched.relief_latency_s", self.ctx.sim.now - t0, phase="probe"
+            )
 
     # ------------------------------------------------------------------
     # OOC passes & shutdown

@@ -30,7 +30,6 @@ from typing import Any, Generator, Optional
 
 from ..config import SplitPolicy
 from ..hashing import (
-    HashRange,
     LinearHashDirectory,
     RangeRouter,
     Router,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Generator
 
-from ..config import Algorithm, RunConfig, SplitPolicy
+from ..config import Algorithm, RunConfig
 from ..hashing import Router
 from .messages import ReliefAck, SpillOrder
 

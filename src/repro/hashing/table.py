@@ -11,13 +11,44 @@ join process (see DESIGN.md §2 on accounted-but-not-materialized bytes).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
 from .hashfn import PositionMap
 
 __all__ = ["NodeHashStore"]
+
+
+def _as_uint64(values: np.ndarray) -> np.ndarray:
+    """Validate/coerce a chunk of join attributes to uint64.
+
+    The store's probe path relies on every chunk sharing one dtype — a
+    mixed-dtype concatenation would silently up-cast to float64 and
+    corrupt large keys.  Coercion must be lossless: a value that does not
+    round-trip through uint64 (negative, non-finite, fractional, or too
+    large) raises instead of joining on a mangled key.
+    """
+    values = np.asarray(values)
+    if values.dtype == np.uint64:
+        return values
+    if values.dtype.kind not in "uif":
+        raise TypeError(
+            f"join attributes must be numeric, got dtype {values.dtype}"
+        )
+    if values.dtype.kind == "f" and values.size:
+        if not np.isfinite(values).all():
+            raise ValueError("join attributes must be finite")
+        if (values >= 2.0 ** 64).any():
+            raise ValueError("join attributes exceed the uint64 range")
+    if values.dtype.kind in "if" and values.size and (values < 0).any():
+        raise ValueError("join attributes must be non-negative")
+    cast = values.astype(np.uint64)
+    if values.size and not np.array_equal(cast.astype(values.dtype), values):
+        raise ValueError(
+            f"lossy conversion of join attributes from {values.dtype} to uint64"
+        )
+    return cast
 
 
 class NodeHashStore:
@@ -28,6 +59,10 @@ class NodeHashStore:
         self._chunks: list[np.ndarray] = []
         self._sorted: Optional[np.ndarray] = None
         self._count = 0
+        #: optional metric counters (objects with ``inc(n)``; wired by the
+        #: owning join process)
+        self.inserted_counter: Optional[Any] = None
+        self.match_counter: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -35,12 +70,19 @@ class NodeHashStore:
         return self._count
 
     def insert(self, values: np.ndarray) -> None:
-        """Append a chunk of build tuples (no copy; caller cedes ownership)."""
+        """Append a chunk of build tuples (no copy; caller cedes ownership).
+
+        Raises ``TypeError``/``ValueError`` unless ``values`` is — or
+        losslessly coerces to — a uint64 array.
+        """
+        values = _as_uint64(values)
         if values.size == 0:
             return
         self._chunks.append(values)
         self._count += int(values.size)
         self._sorted = None
+        if self.inserted_counter is not None:
+            self.inserted_counter.inc(int(values.size))
 
     # ------------------------------------------------------------------
     def _all_values(self) -> np.ndarray:
@@ -68,7 +110,10 @@ class NodeHashStore:
         assert self._sorted is not None
         left = np.searchsorted(self._sorted, values, side="left")
         right = np.searchsorted(self._sorted, values, side="right")
-        return int((right - left).sum())
+        found = int((right - left).sum())
+        if self.match_counter is not None and found:
+            self.match_counter.inc(found)
+        return found
 
     # ------------------------------------------------------------------
     # extraction (splits / reshuffle)

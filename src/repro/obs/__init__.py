@@ -1,0 +1,55 @@
+"""Observability: structured metrics, span timelines, trace/metrics export.
+
+This package is the measurement substrate for the whole reproduction.
+Every layer publishes into one :class:`MetricsRegistry` per run — the
+simulator (events executed), the network (bytes per (src, dst, kind)),
+disks (bytes/ops per node), memory accounts (usage timelines with
+high-water marks), mailboxes (queue depths), the hash stores (inserted
+tuples / matches) and the scheduler (relief-cycle latencies, drain
+rounds).  Phase and transfer *spans* land in a :class:`SpanLog` and are
+attached to ``JoinRunResult`` as a :class:`PhaseTimeline`, exportable as
+JSONL or Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto).
+
+Deliberately dependency-free: ``repro.obs`` imports nothing from the rest
+of ``repro``, so the simulation substrate, the cluster model and the join
+protocol can all publish into it without import cycles.  See
+``docs/OBSERVABILITY.md`` for the metric catalogue and CLI usage.
+"""
+
+from .export import (
+    chrome_trace,
+    metrics_to_jsonl,
+    trace_to_jsonl,
+)
+from .harvest import harvest_network, harvest_nodes, harvest_simulator
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+)
+from .timeline import (
+    PHASE_NAMES,
+    SCHEDULER_TRACK,
+    PhaseTimeline,
+    Span,
+    SpanLog,
+)
+
+__all__ = [
+    "Counter",
+    "PHASE_NAMES",
+    "SCHEDULER_TRACK",
+    "Gauge",
+    "MetricsRegistry",
+    "PhaseTimeline",
+    "Span",
+    "SpanLog",
+    "TimeWeightedHistogram",
+    "chrome_trace",
+    "harvest_network",
+    "harvest_nodes",
+    "harvest_simulator",
+    "metrics_to_jsonl",
+    "trace_to_jsonl",
+]

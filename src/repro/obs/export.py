@@ -1,0 +1,148 @@
+"""Trace and metrics export: JSONL and Chrome ``trace_event`` JSON.
+
+The Chrome format (one JSON object with a ``traceEvents`` list) loads
+directly into ``chrome://tracing`` or https://ui.perfetto.dev.  Simulated
+seconds are exported as microseconds (the format's native unit), so a
+2.4-second simulated run renders as a 2.4 s timeline.
+
+Everything here is duck-typed: ``chrome_trace`` accepts any object with
+``timeline`` (:class:`~repro.obs.timeline.PhaseTimeline`) and optionally
+``tracer`` (an object with ``records``) attributes — in practice a
+``JoinRunResult`` — keeping this package import-cycle free.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterable, Iterator, Optional
+
+from .timeline import SCHEDULER_TRACK, PhaseTimeline
+
+__all__ = ["trace_to_jsonl", "metrics_to_jsonl", "chrome_trace"]
+
+_SECONDS_TO_US = 1e6
+
+_TRACK_RE = re.compile(r"^([a-z]+)(\d+)$")
+
+
+def _json_default(obj: Any) -> Any:
+    """Fallback encoder for numpy scalars/arrays and other odd values."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    return str(obj)
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, default=_json_default)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def trace_to_jsonl(tracer: Any) -> Iterator[str]:
+    """One JSON object per :class:`~repro.sim.trace.TraceRecord` line.
+
+    Keys: ``t`` (simulated seconds), ``category``, ``actor``, ``detail``.
+    """
+    for r in tracer.records:
+        yield _dumps({
+            "t": r.time,
+            "category": r.category,
+            "actor": r.actor,
+            "detail": r.detail,
+        })
+
+
+def metrics_to_jsonl(snapshot: Iterable[dict[str, Any]]) -> Iterator[str]:
+    """One JSON object per instrument (see ``MetricsRegistry.snapshot``)."""
+    for inst in snapshot:
+        yield _dumps(inst)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _track_sort_key(track: str) -> tuple[int, str, int]:
+    """Scheduler first, then actors grouped by role in numeric order."""
+    if track == SCHEDULER_TRACK:
+        return (0, "", 0)
+    m = _TRACK_RE.match(track)
+    if m:
+        return (1, m.group(1), int(m.group(2)))
+    return (2, track, 0)
+
+
+def chrome_trace(result: Any) -> dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from a run result.
+
+    Emits one thread (track) per actor: complete events (``ph: "X"``) for
+    every timeline span — the scheduler's phase spans plus per-node
+    build/probe/split/reshuffle/ooc spans — and instant events
+    (``ph: "i"``) for every collected trace record.
+    """
+    timeline: Optional[PhaseTimeline] = getattr(result, "timeline", None)
+    tracer = getattr(result, "tracer", None)
+    if timeline is None:
+        timeline = PhaseTimeline()
+
+    tracks = list(timeline.tracks())
+    if tracer is not None:
+        for r in tracer.records:
+            if r.actor not in tracks:
+                tracks.append(r.actor)
+    tracks.sort(key=_track_sort_key)
+    tids = {track: i for i, track in enumerate(tracks)}
+
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": "repro simulated join"},
+        },
+    ]
+    for track, tid in tids.items():
+        events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": track},
+        })
+
+    for span in timeline.spans:
+        events.append({
+            "ph": "X",
+            "pid": 0,
+            "tid": tids[span.track],
+            "ts": span.t0 * _SECONDS_TO_US,
+            "dur": span.duration * _SECONDS_TO_US,
+            "name": span.name,
+            "cat": "phase" if span.track == SCHEDULER_TRACK else "node",
+            "args": dict(span.args),
+        })
+
+    if tracer is not None:
+        for r in tracer.records:
+            events.append({
+                "ph": "i",
+                "pid": 0,
+                "tid": tids[r.actor],
+                "ts": r.time * _SECONDS_TO_US,
+                "name": r.category,
+                "s": "t",
+                "args": dict(r.detail),
+            })
+
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro", "time_unit": "simulated seconds x 1e6"},
+    }
+    config = getattr(result, "config", None)
+    if config is not None:
+        doc["otherData"]["algorithm"] = getattr(
+            getattr(config, "algorithm", None), "value", None
+        )
+    # Round-trip through the tolerant encoder so numpy scalars in span/trace
+    # args can't make the document unserializable for callers using a plain
+    # json.dump.
+    return json.loads(_dumps(doc))

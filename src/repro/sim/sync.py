@@ -31,9 +31,16 @@ class Mailbox:
         self._getters: Deque[Event] = deque()
         #: total messages ever put (diagnostics)
         self.total_put = 0
+        #: optional queue-depth instrument (any object with
+        #: ``observe(time, depth)``; wired by the cluster's metrics setup)
+        self.depth_probe: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def _sample_depth(self) -> None:
+        if self.depth_probe is not None:
+            self.depth_probe.observe(self.sim.now, len(self._items))
 
     def put(self, item: Any) -> None:
         """Deposit a message; wakes the oldest waiting getter, if any."""
@@ -42,6 +49,7 @@ class Mailbox:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
+            self._sample_depth()
 
     def get(self) -> Event:
         """Return an event that fires with the next message (FIFO).
@@ -54,6 +62,7 @@ class Mailbox:
         ev = Event(self.sim)
         if self._items:
             ev.succeed(self._items.popleft())
+            self._sample_depth()
         else:
             self._getters.append(ev)
         return ev

@@ -3,13 +3,15 @@
 Algorithm processes emit trace records ("node 7 recruited at t=3.2s",
 "split #4: bucket [lo,hi) -> ...") that the driver collects into the run
 result.  Tracing is cheap enough to stay on by default; a category filter
-lets tests subscribe narrowly.
+lets tests subscribe narrowly, and ``maxlen`` bounds the buffer for long
+runs (oldest records are evicted, ``dropped`` counts them).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, Sequence
 
 __all__ = ["TraceRecord", "Tracer"]
 
@@ -29,19 +31,38 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries in simulation order."""
+    """Collects :class:`TraceRecord` entries in simulation order.
 
-    def __init__(self, enabled: bool = True, categories: Optional[set[str]] = None):
+    ``maxlen=None`` (the default) keeps every record; a positive value
+    turns the buffer into a ring that retains only the newest ``maxlen``
+    records — the bounded mode long benchmark runs should use.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[set[str]] = None,
+        maxlen: Optional[int] = None,
+    ):
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
         self.enabled = enabled
         self.categories = categories
-        self.records: list[TraceRecord] = []
+        self.maxlen = maxlen
+        self.records: Sequence[TraceRecord] = (
+            deque(maxlen=maxlen) if maxlen is not None else []
+        )
+        #: records evicted from a bounded buffer (0 in unbounded mode)
+        self.dropped = 0
 
     def emit(self, time: float, category: str, actor: str, **detail: Any) -> None:
         if not self.enabled:
             return
         if self.categories is not None and category not in self.categories:
             return
-        self.records.append(TraceRecord(time, category, actor, detail))
+        if self.maxlen is not None and len(self.records) == self.maxlen:
+            self.dropped += 1
+        self.records.append(TraceRecord(time, category, actor, detail))  # type: ignore[attr-defined]
 
     def select(self, category: str) -> Iterator[TraceRecord]:
         """Iterate records of one category, in time order."""

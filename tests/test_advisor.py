@@ -4,7 +4,7 @@ end-to-end check that the advice actually wins in simulation."""
 import pytest
 
 from tests.conftest import small_cluster, small_config, small_workload
-from repro.analysis import Recommendation, recommend_strategy
+from repro.analysis import recommend_strategy
 from repro.config import Algorithm
 from repro.core import run_join
 

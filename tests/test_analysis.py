@@ -1,7 +1,5 @@
 """Unit tests for the analysis layer: §4.2.4 model, load balance, reports."""
 
-import math
-
 import pytest
 
 from repro.analysis import (

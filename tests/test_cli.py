@@ -72,3 +72,70 @@ def test_no_validate_flag(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "MISMATCH" not in out
+
+
+def test_zipf_and_sigma_together_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(small_args(["run", "--zipf", "1.2", "--sigma", "0.001"]))
+    assert exc.value.code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_zipf_exponent_must_exceed_one(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(small_args(["run", "--zipf", "1.0"]))
+    assert exc.value.code == 2
+    assert "must be > 1" in capsys.readouterr().err
+
+
+def test_trace_command_writes_chrome_json(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    rc = main(small_args(["trace", "--algorithm", "split",
+                          "--initial-nodes", "2", "--out", str(out)]))
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    phs = {e["ph"] for e in doc["traceEvents"]}
+    assert {"M", "X", "i"} <= phs
+    printed = capsys.readouterr().out
+    assert "scheduler" in printed  # phase timeline report follows the write
+
+
+def test_trace_command_jsonl_to_stdout(capsys):
+    import json
+
+    rc = main(small_args(["trace", "--algorithm", "hybrid",
+                          "--initial-nodes", "2", "--format", "jsonl"]))
+    assert rc == 0
+    lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+    assert lines and all("category" in json.loads(ln) for ln in lines)
+
+
+def test_trace_command_respects_trace_buffer(capsys):
+    import json
+
+    rc = main(small_args(["trace", "--algorithm", "split",
+                          "--initial-nodes", "2", "--format", "jsonl",
+                          "--trace-buffer", "5"]))
+    assert rc == 0
+    lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+    assert len(lines) == 5
+    assert all(json.loads(ln) for ln in lines)
+
+
+def test_metrics_command_table_and_jsonl(capsys):
+    rc = main(small_args(["metrics", "--algorithm", "split",
+                          "--initial-nodes", "2"]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "hash.inserted_tuples" in out and "mailbox.depth" in out
+
+    import json
+
+    rc = main(small_args(["metrics", "--algorithm", "split",
+                          "--initial-nodes", "2", "--format", "jsonl"]))
+    lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+    assert rc == 0
+    names = {json.loads(ln)["name"] for ln in lines}
+    assert "sim.events_executed" in names

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import Cluster, MemoryAccount, MemoryFullError, Node
 from repro.config import ClusterSpec, CostModel
-from repro.sim import Simulator
+from repro.sim import Interrupt, Simulator
 
 
 # ----------------------------------------------------------------------
@@ -85,6 +85,81 @@ def test_disk_serializes_requests():
     sim.run()
     assert sim.now == pytest.approx(2 * cost.disk_seek)
     assert node.disk.busy_time == pytest.approx(2 * cost.disk_seek)
+
+
+class _Counter:
+    """Minimal duck-typed metric counter (see Disk.written_counter)."""
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n):
+        self.value += n
+
+
+def test_disk_accounting_conserved_under_interrupts():
+    """Byte/op counters must reflect only *completed* transfers: a writer
+    interrupted while queued for the device, or mid-transfer, performed no
+    I/O.  Regression test for counters being credited before the device
+    was even acquired."""
+    sim = Simulator()
+    cost = CostModel()
+    node = Node(sim, 0, "join", cost)
+    node.disk.written_counter = _Counter()
+    completed = []
+
+    def writer(tag, nbytes):
+        try:
+            yield from node.disk.write(nbytes)
+            completed.append((tag, nbytes))
+        except Interrupt:
+            pass
+
+    # a holds the device; b is interrupted while queued; a is interrupted
+    # mid-transfer; c (spawned after the carnage) must still complete.
+    a = sim.spawn(writer("a", 4 * cost.disk_bandwidth))  # ~4s transfer
+    b = sim.spawn(writer("b", cost.disk_bandwidth))
+
+    def saboteur(sim):
+        yield sim.timeout(0.5)
+        b.interrupt("cancel queued write")
+        yield sim.timeout(0.5)
+        a.interrupt("cancel in-flight write")
+        yield sim.timeout(0.0)
+        sim.spawn(writer("c", 2 * cost.disk_bandwidth))
+
+    sim.spawn(saboteur(sim))
+    sim.run()
+
+    assert completed == [("c", 2 * cost.disk_bandwidth)]
+    assert node.disk.bytes_written == 2 * cost.disk_bandwidth
+    assert node.disk.ops == 1
+    assert node.disk.written_counter.value == node.disk.bytes_written
+
+
+def test_disk_read_accounting_conserved_under_interrupts():
+    sim = Simulator()
+    cost = CostModel()
+    node = Node(sim, 0, "join", cost)
+    node.disk.read_counter = _Counter()
+
+    def reader(sim, node):
+        try:
+            yield from node.disk.read(10 * cost.disk_bandwidth)
+        except Interrupt:
+            pass
+
+    p = sim.spawn(reader(sim, node))
+
+    def saboteur(sim):
+        yield sim.timeout(1.0)
+        p.interrupt("abort read")
+
+    sim.spawn(saboteur(sim))
+    sim.run()
+    assert node.disk.bytes_read == 0
+    assert node.disk.ops == 0
+    assert node.disk.read_counter.value == 0
 
 
 def test_disk_rejects_negative_sizes():

@@ -2,12 +2,12 @@
 
 import pytest
 
-from tests.conftest import small_config, small_workload
+from tests.conftest import small_config
 from repro.analysis import load_balance
 from repro.config import Algorithm, RunConfig, WorkloadSpec
 from repro.core import run_join
 from repro.core.messages import Hop
-from repro.core.results import CommStats, NodeLoad, PhaseTimes
+from repro.core.results import CommStats, PhaseTimes
 
 
 def test_comm_stats_chunk_equivalents():

@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import Distribution, WorkloadSpec
 from repro.data import (
-    VALUE_BITS,
     VALUE_SPACE,
     RelationStream,
     draw_values,

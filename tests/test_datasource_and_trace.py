@@ -1,7 +1,6 @@
 """Unit tests for data-source buffering and the trace recorder."""
 
 import numpy as np
-import pytest
 
 from repro.core.datasource import _Buffers
 from repro.sim import TraceRecord, Tracer

@@ -186,3 +186,58 @@ def test_store_probe_after_extract_is_consistent():
     other = NodeHashStore(pm)
     other.insert(moved)
     assert store.probe(s) + other.probe(s) == match_count(r, s)
+
+
+# ----------------------------------------------------------------------
+# NodeHashStore dtype validation (insert accepts only lossless uint64)
+# ----------------------------------------------------------------------
+def test_store_insert_coerces_lossless_integer_dtypes():
+    store = NodeHashStore(PositionMap(256))
+    store.insert(np.array([1, 2, 3], dtype=np.int32))
+    store.insert(np.array([4, 5], dtype=np.uint16))
+    store.insert(np.array([6.0, 7.0], dtype=np.float64))  # integral floats
+    assert store.stored_tuples == 7
+    assert store.probe(np.array([5], dtype=np.uint64)) == 1
+    # internal storage is uniformly uint64
+    store.finalize()
+    assert store._sorted.dtype == np.uint64
+
+
+def test_store_insert_rejects_negative_values():
+    store = NodeHashStore(PositionMap(256))
+    with pytest.raises(ValueError, match="non-negative"):
+        store.insert(np.array([3, -1], dtype=np.int64))
+    with pytest.raises(ValueError, match="non-negative"):
+        store.insert(np.array([-2.0], dtype=np.float32))
+    assert store.stored_tuples == 0
+
+
+def test_store_insert_rejects_lossy_floats():
+    store = NodeHashStore(PositionMap(256))
+    with pytest.raises(ValueError, match="lossy"):
+        store.insert(np.array([1.5], dtype=np.float64))
+    with pytest.raises(ValueError, match="finite"):
+        store.insert(np.array([np.nan], dtype=np.float64))
+    with pytest.raises(ValueError, match="finite"):
+        store.insert(np.array([np.inf], dtype=np.float64))
+    # float64 cannot represent 2**53 + 1 exactly either way, but a huge
+    # magnitude that overflows uint64 entirely must be rejected too
+    with pytest.raises(ValueError):
+        store.insert(np.array([1e20], dtype=np.float64))
+    assert store.stored_tuples == 0
+
+
+def test_store_insert_rejects_non_numeric_dtypes():
+    store = NodeHashStore(PositionMap(256))
+    with pytest.raises(TypeError, match="numeric"):
+        store.insert(np.array(["a", "b"]))
+    with pytest.raises(TypeError, match="numeric"):
+        store.insert(np.array([True, False]))
+    assert store.stored_tuples == 0
+
+
+def test_store_insert_uint64_passthrough_is_zero_copy():
+    store = NodeHashStore(PositionMap(256))
+    values = np.array([9, 10], dtype=np.uint64)
+    store.insert(values)
+    assert store._chunks[0] is values  # caller cedes ownership, no copy

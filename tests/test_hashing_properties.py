@@ -132,3 +132,57 @@ def test_position_map_bounds_and_monotonicity(bits, seed):
     pos = pm(values)
     assert pos.min() >= 0 and pos.max() < (1 << bits)
     assert (np.diff(pos) >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# greedy_contiguous_partition: the documented slice-weight bound
+# ----------------------------------------------------------------------
+@given(
+    weights=st.lists(st.integers(0, 10_000), min_size=1, max_size=512),
+    parts=st.integers(1, 32),
+)
+@settings(max_examples=300, deadline=None)
+def test_greedy_partition_weight_bound(weights, parts):
+    """Every slice's weight is at most total/parts + max(weights), and the
+    slices tile [0, n) in order — the function's documented guarantee."""
+    w = np.asarray(weights, dtype=np.int64)
+    slices = greedy_contiguous_partition(w, parts)
+    assert len(slices) == parts
+    # tiling: ordered, contiguous, covering
+    assert slices[0][0] == 0 and slices[-1][1] == len(w)
+    for (_, hi), (lo, _) in zip(slices, slices[1:]):
+        assert hi == lo
+    bound = w.sum() / parts + w.max()
+    for lo, hi in slices:
+        assert w[lo:hi].sum() <= bound + 1e-9
+
+
+@given(n=st.integers(1, 256), parts=st.integers(1, 32))
+@settings(max_examples=100, deadline=None)
+def test_greedy_partition_all_zero_weights(n, parts):
+    """Zero total weight must still tile the range without crashing."""
+    slices = greedy_contiguous_partition(np.zeros(n, dtype=np.int64), parts)
+    assert len(slices) == parts
+    assert slices[0][0] == 0 and slices[-1][1] == n
+    for (_, hi), (lo, _) in zip(slices, slices[1:]):
+        assert hi == lo
+
+
+@given(
+    n=st.integers(1, 256),
+    hot=st.integers(0, 255),
+    weight=st.integers(1, 10_000),
+    parts=st.integers(1, 32),
+)
+@settings(max_examples=200, deadline=None)
+def test_greedy_partition_single_hot_position(n, hot, weight, parts):
+    """All weight on one position: exactly one slice carries it and the
+    bound degenerates to max(weights) <= total/parts + max(weights)."""
+    hot = hot % n
+    w = np.zeros(n, dtype=np.int64)
+    w[hot] = weight
+    slices = greedy_contiguous_partition(w, parts)
+    carriers = [(lo, hi) for lo, hi in slices if lo <= hot < hi]
+    assert len(carriers) == 1
+    lo, hi = carriers[0]
+    assert w[lo:hi].sum() == weight <= weight + weight / parts

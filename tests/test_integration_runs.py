@@ -9,7 +9,7 @@ algorithm-specific structural assertions on top.
 import pytest
 
 from tests.conftest import small_cluster, small_config, small_workload
-from repro.config import Algorithm, Distribution, SplitPolicy
+from repro.config import Algorithm, Distribution
 from repro.core import run_join
 from repro.core.messages import Hop
 

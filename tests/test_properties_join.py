@@ -7,7 +7,6 @@ tuples, and conserves network bytes.  ``run_join(validate=True)`` asserts
 all of that internally; hypothesis drives the configuration space.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -6,8 +6,6 @@ consecutive polling rounds return identical counters AND the flow balances
 These tests drive ``_collect_report`` directly with synthetic reports.
 """
 
-import pytest
-
 from tests.conftest import small_config
 from repro.config import Algorithm
 from repro.core.context import RunContext

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import DeadlockError, Event, Simulator, Timeout
+from repro.sim import DeadlockError, Event, Simulator
 from repro.sim.errors import SimulationError
 
 

@@ -1,7 +1,6 @@
 """Direct unit tests for the Grace-style SpillStore (recursion included)."""
 
 import numpy as np
-import pytest
 
 from tests.conftest import small_config
 from repro.config import Algorithm
