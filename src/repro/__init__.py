@@ -21,6 +21,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.hashing`  — position maps, routers, linear hashing, reshuffle
 - :mod:`repro.seqjoin`  — sequential reference joins (correctness oracles)
 - :mod:`repro.core`     — the expanding hash-join algorithms + run driver
+- :mod:`repro.faults`   — deterministic fault injection + recovery plans
+- :mod:`repro.obs`      — metrics registry, span timelines, trace export
 - :mod:`repro.analysis` — §4.2.4 cost model, load-balance stats, reports
 - :mod:`repro.bench`    — figure-reproduction harness used by benchmarks/
 """
@@ -37,6 +39,13 @@ from .config import (
     WorkloadSpec,
 )
 from .core import JoinRunResult, run_join
+from .faults import (
+    CrashSpec,
+    FaultPlan,
+    FaultPlanError,
+    LinkSlowdown,
+    UnrecoverableFaultError,
+)
 
 __version__ = "1.0.0"
 
@@ -44,12 +53,17 @@ __all__ = [
     "Algorithm",
     "ClusterSpec",
     "CostModel",
+    "CrashSpec",
     "DEFAULT_SCALE",
     "Distribution",
+    "FaultPlan",
+    "FaultPlanError",
     "JoinRunResult",
+    "LinkSlowdown",
     "MTUPLES",
     "RunConfig",
     "SplitPolicy",
+    "UnrecoverableFaultError",
     "WorkloadSpec",
     "run_join",
     "__version__",

@@ -106,6 +106,39 @@ class FigureHarness:
         return result.paper_scale_total_s
 
     # ------------------------------------------------------------------
+    # machine-readable baseline (regression tracking)
+    # ------------------------------------------------------------------
+    def baseline(self) -> dict:
+        """Fig02-default baseline as a JSON-ready dict.
+
+        Per algorithm and initial-node count: paper-scale total and build
+        time, fault-free.  The simulation is deterministic, so these
+        numbers are exactly reproducible — ``python -m repro figures
+        --json BENCH_N.json`` snapshots them and future changes diff
+        against the committed file (see docs/BENCHMARKS.md).
+        """
+        res = self._init_sweep()
+        return {
+            "benchmark": "fig02",
+            "description": "paper-scale seconds, uniform R=S=10M tuples, "
+                           "fault-free",
+            "scale": self.scale,
+            "validated": self.validate,
+            "series": {
+                a.value: {
+                    str(k): {
+                        "total_s": round(self._paper_s(res[a, k]), 6),
+                        "build_s": round(
+                            res[a, k].times.build_s / self.scale, 6
+                        ),
+                    }
+                    for k in self.INITIAL_NODES
+                }
+                for a in ALGORITHMS
+            },
+        }
+
+    # ------------------------------------------------------------------
     # Figures 2-5: initial-node sweep, R = S = 10M uniform
     # ------------------------------------------------------------------
     def _init_sweep(self) -> dict[tuple[Algorithm, int], JoinRunResult]:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from .analysis import format_table
@@ -39,6 +40,7 @@ from .config import (
     WorkloadSpec,
 )
 from .core import run_join
+from .faults import FaultPlan, FaultPlanError, crash_specs_from_cli
 
 __all__ = ["main", "build_parser"]
 
@@ -78,6 +80,35 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--sources-from-disk", action="store_true",
                    help="sources read relations from disk instead of "
                         "generating them")
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--fault-plan", metavar="PATH",
+                   help="JSON fault plan (see docs/FAULTS.md for the schema)")
+    p.add_argument("--drop-prob", type=float, default=None, metavar="P",
+                   help="drop every inter-node message with probability P "
+                        "(sender retransmits; overrides the plan's value)")
+    p.add_argument("--crash-node", action="append", default=[],
+                   metavar="N[@T|@phase:NAME]",
+                   help="fail-stop a dormant pool node: pool index, "
+                        "optionally at sim time T or on phase entry "
+                        "(build/reshuffle/probe/ooc); repeatable")
+
+
+def _faults(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Fold --fault-plan / --drop-prob / --crash-node into one plan.
+
+    Returns ``None`` when no fault flag was given, which keeps the run on
+    the exact fault-free code path (no injector is constructed at all).
+    """
+    plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
+    if args.drop_prob is not None:
+        plan = replace(plan or FaultPlan(), drop_prob=args.drop_prob)
+    if args.crash_node:
+        plan = (plan or FaultPlan()).with_crashes(
+            *crash_specs_from_cli(args.crash_node)
+        )
+    return plan
 
 
 def _workload(args: argparse.Namespace) -> WorkloadSpec:
@@ -124,6 +155,7 @@ def _config(args: argparse.Namespace, algorithm: Algorithm,
         sources_from_disk=args.sources_from_disk,
         trace=args.trace or force_trace,
         trace_buffer=args.trace_buffer,
+        faults=_faults(args),
     )
 
 
@@ -181,7 +213,9 @@ def cmd_figures(args: argparse.Namespace) -> int:
         "fig12": harness.fig12, "fig13": harness.fig13,
         "model": harness.model_validation,
     }
-    wanted = args.only or list(available)
+    # --json alone snapshots the fig02 baseline without rendering reports;
+    # combined with --only it does both (the sweep is memoized and shared).
+    wanted = args.only or ([] if args.json else list(available))
     unknown = [w for w in wanted if w not in available]
     if unknown:
         print(f"unknown figures: {unknown}; choose from "
@@ -206,6 +240,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(report.to_csv())
         print(f"wrote {len(reports)} csv files to {args.csv_dir}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(harness.baseline(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json} (fig02 baseline)")
     return 0 if all(r.all_passed for r in reports) else 1
 
 
@@ -283,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     _add_workload_args(common)
     _add_cluster_args(common)
+    _add_fault_args(common)
     common.add_argument("--split-policy", default="bisect",
                         choices=[p.value for p in SplitPolicy])
     common.add_argument("--materialize-output", action="store_true",
@@ -341,6 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="subset, e.g. --only fig02 fig10")
     p_fig.add_argument("--out", help="write markdown reports to this file")
     p_fig.add_argument("--csv-dir", help="write one CSV per figure here")
+    p_fig.add_argument("--json", metavar="PATH",
+                       help="write the machine-readable fig02 baseline "
+                            "(total/build s per algorithm x initial nodes) "
+                            "for regression tracking; alone, skips the "
+                            "figure reports")
     p_fig.add_argument("--scale", type=float, default=WorkloadSpec().scale)
     p_fig.add_argument("--no-validate", action="store_true")
     p_fig.set_defaults(func=cmd_figures)
@@ -359,7 +404,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         if args.zipf <= 1.0:
             parser.error(f"--zipf exponent must be > 1, got {args.zipf}")
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FaultPlanError as exc:
+        parser.error(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

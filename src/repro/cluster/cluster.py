@@ -51,13 +51,15 @@ class Cluster:
 
     @classmethod
     def build(
-        cls, sim: Simulator, spec: ClusterSpec, metrics: Optional[Any] = None
+        cls, sim: Simulator, spec: ClusterSpec, metrics: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> "Cluster":
         from ..config import Topology
 
         network = Network(
             sim, spec.cost,
             shared_hub=spec.topology is Topology.SHARED_HUB,
+            faults=faults,
         )
         next_id = 0
 

@@ -23,18 +23,36 @@ resource.
 The network keeps per-(src, dst, kind) byte and message counters;
 :meth:`assert_conserved` verifies at end of run that every byte sent was
 delivered — a cheap full-system invariant the test suite leans on.
+
+**Reliable transport under fault injection.**  When a
+:class:`~repro.faults.FaultInjector` with link faults is attached, every
+inter-node ``send`` runs an at-least-once loop: transmit, consult the
+seeded drop verdicts, and either finish after one ack propagation delay or
+back off (``FaultPlan.rto_s`` x ``rto_backoff^k``, capped) and retransmit.
+A lost *payload* is retransmitted until it lands; a lost *ack* means the
+payload already landed, so the retransmission is counted as a duplicate
+and suppressed — exactly one mailbox delivery per logical message, so
+receive-window credits and the drain protocol's message counts stay
+balanced.  Dropped and duplicate bytes are accounted per link and
+:meth:`assert_conserved` then checks ``sent == delivered + dropped +
+duplicates``.  A message that exhausts ``max_attempts`` raises
+:class:`~repro.faults.UnrecoverableFaultError` instead of deadlocking.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Generator, Protocol
+from typing import TYPE_CHECKING, Any, Generator, Optional, Protocol
 
 import numpy as np
 
 from ..config import CostModel
+from ..faults import UnrecoverableFaultError
 from ..sim import Resource, Simulator
 from .node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults import FaultInjector
 
 __all__ = ["Network", "Wireable"]
 
@@ -53,9 +71,12 @@ class Network:
     """The cluster interconnect."""
 
     def __init__(self, sim: Simulator, cost: CostModel, jitter_seed: int = 0,
-                 shared_hub: bool = False):
+                 shared_hub: bool = False,
+                 faults: Optional["FaultInjector"] = None):
         self.sim = sim
         self.cost = cost
+        #: fault injector (None = perfectly reliable links)
+        self.faults = faults
         # Deterministic jitter stream (only consulted when net_jitter > 0).
         self._jitter_rng = np.random.default_rng(
             np.random.SeedSequence(entropy=jitter_seed, spawn_key=(74,))
@@ -71,6 +92,14 @@ class Network:
         self.delivered_bytes: dict[tuple[int, int, str], int] = defaultdict(int)
         self.sent_messages: dict[str, int] = defaultdict(int)
         self.delivered_messages: dict[str, int] = defaultdict(int)
+        #: payload transmissions lost to injected faults (per link+kind)
+        self.dropped_bytes: dict[tuple[int, int, str], int] = defaultdict(int)
+        self.dropped_messages: dict[str, int] = defaultdict(int)
+        #: retransmissions of an already-delivered payload (lost ack);
+        #: the receiver-side sequence check suppresses these
+        self.duplicate_bytes: dict[tuple[int, int, str], int] = defaultdict(int)
+        self.duplicate_messages: dict[str, int] = defaultdict(int)
+        self.retransmissions = 0
         self._in_flight = 0
 
     # ------------------------------------------------------------------
@@ -82,12 +111,18 @@ class Network:
         Returns once the message has cleared both NICs (flow control: a
         saturated receiver port blocks the sender); the final receiver-CPU
         handling and mailbox deposit complete asynchronously.
+
+        With link faults injected this becomes an at-least-once exchange:
+        the sender retransmits on a seeded drop verdict with exponential
+        backoff, waits one ack propagation delay on success, and counts a
+        lost-ack retransmission as a suppressed duplicate (the payload is
+        delivered to the mailbox exactly once either way).  See the module
+        docstring for the full recovery semantics.
         """
         nbytes = message.nbytes
         if nbytes < 0:
             raise ValueError("message reports a negative size")
         key = (src.node_id, dst.node_id, message.kind)
-        self.sent_bytes[key] += nbytes
         self.sent_messages[message.kind] += 1
         self._in_flight += 1
         yield from src.cpu.use(self.cost.net_per_message_cpu)
@@ -101,18 +136,69 @@ class Network:
             # TX while waiting on a credit deadlocks two nodes that
             # stream at each other while their control replies queue
             # behind the jammed TX (observed in the reshuffle step).
+            # One credit covers the logical message across every
+            # retransmission attempt (TCP's window tracks sequence space,
+            # not wire copies), so duplicates cannot leak credits.
             yield dst.recv_credits.acquire()
-        if src is not dst and self._hub is not None:
+        faults = self.faults
+        if faults is None or not faults.links_active or src is dst:
+            self.sent_bytes[key] += nbytes
+            yield from self._transmit(src, dst, nbytes)
+            self._spawn_deliver(src, dst, message, nbytes, key)
+            return
+        # Reliable transport: transmit / await ack / back off and retry.
+        attempt = 0
+        delivered = False
+        while True:
+            self.sent_bytes[key] += nbytes
+            yield from self._transmit(src, dst, nbytes)
+            if faults.roll_drop(src.node_id, dst.node_id):
+                self.dropped_bytes[key] += nbytes
+                self.dropped_messages[message.kind] += 1
+                lost = True
+            else:
+                if delivered:
+                    self.duplicate_bytes[key] += nbytes
+                    self.duplicate_messages[message.kind] += 1
+                else:
+                    self._spawn_deliver(src, dst, message, nbytes, key)
+                    delivered = True
+                lost = faults.roll_ack_drop(src.node_id, dst.node_id)
+            if not lost:
+                # Cumulative ack propagates back (control-sized, modelled
+                # as pure propagation delay on the reverse path).
+                yield self.sim.timeout(self.cost.net_latency)
+                return
+            attempt += 1
+            if attempt >= faults.max_attempts:
+                raise UnrecoverableFaultError(
+                    f"message {src.name}->{dst.name} ({message.kind}, "
+                    f"{nbytes} B) exhausted {faults.max_attempts} "
+                    "transmission attempts; the configured drop "
+                    "probability is beyond the transport's recovery "
+                    "envelope (raise max_attempts or lower drop_prob)"
+                )
+            self.retransmissions += 1
+            faults.count_retry(message.kind)
+            yield self.sim.timeout(faults.rto(attempt))
+
+    def _transmit(self, src: Node, dst: Node, nbytes: int) -> Generator[Any, Any, None]:
+        """Clock one copy of the payload through the interconnect."""
+        if src is dst:
+            return
+        wire = self.cost.wire_time(nbytes)
+        if self.faults is not None:
+            wire *= self.faults.slowdown_factor(
+                src.node_id, dst.node_id, self.sim.now
+            )
+        if self._hub is not None:
             yield self._hub.acquire()
             try:
-                yield self.sim.timeout(
-                    self.cost.net_latency + self.cost.wire_time(nbytes)
-                )
-                self._hub.busy_time += self.cost.wire_time(nbytes)
+                yield self.sim.timeout(self.cost.net_latency + wire)
+                self._hub.busy_time += wire
             finally:
                 self._hub.release()
-        elif src is not dst:
-            wire = self.cost.wire_time(nbytes)
+        else:
             yield src.tx.acquire()
             try:
                 yield self.sim.timeout(self.cost.net_latency)
@@ -125,6 +211,15 @@ class Network:
                     dst.rx.release()
             finally:
                 src.tx.release()
+
+    def _spawn_deliver(
+        self,
+        src: Node,
+        dst: Node,
+        message: Wireable,
+        nbytes: int,
+        key: tuple[int, int, str],
+    ) -> None:
         self.sim.spawn(
             self._deliver(dst, message, nbytes, key),
             name=f"net:{src.name}->{dst.name}",
@@ -170,14 +265,45 @@ class Network:
             if kind is None or k == kind
         )
 
+    def total_dropped_bytes(self, kind: str | None = None) -> int:
+        return sum(
+            v for (s, d, k), v in self.dropped_bytes.items()
+            if kind is None or k == kind
+        )
+
+    def total_duplicate_bytes(self, kind: str | None = None) -> int:
+        return sum(
+            v for (s, d, k), v in self.duplicate_bytes.items()
+            if kind is None or k == kind
+        )
+
     def assert_conserved(self) -> None:
-        """Check that every sent byte has been delivered (end of run)."""
+        """Check that every sent byte is accounted for (end of run).
+
+        Fault-free: ``sent == delivered`` per (src, dst, kind).  Under
+        fault injection each transmitted copy is still accounted exactly
+        once: ``sent == delivered + dropped + duplicates`` — drops burned
+        the wire but never reached a mailbox, duplicates reached the
+        receiver's NIC but were suppressed by the sequence check.
+        """
         if self._in_flight != 0:
             raise AssertionError(f"{self._in_flight} messages still in flight")
-        if self.sent_bytes != self.delivered_bytes:
-            missing = {
-                k: (self.sent_bytes[k], self.delivered_bytes.get(k, 0))
-                for k in self.sent_bytes
-                if self.sent_bytes[k] != self.delivered_bytes.get(k, 0)
-            }
-            raise AssertionError(f"byte conservation violated: {missing}")
+        keys = (
+            set(self.sent_bytes) | set(self.delivered_bytes)
+            | set(self.dropped_bytes) | set(self.duplicate_bytes)
+        )
+        bad = {}
+        for k in keys:
+            sent = self.sent_bytes.get(k, 0)
+            accounted = (
+                self.delivered_bytes.get(k, 0)
+                + self.dropped_bytes.get(k, 0)
+                + self.duplicate_bytes.get(k, 0)
+            )
+            if sent != accounted:
+                bad[k] = (sent, accounted)
+        if bad:
+            raise AssertionError(
+                "byte conservation violated (sent != delivered + dropped "
+                f"+ duplicates): {bad}"
+            )

@@ -18,6 +18,8 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from .faults import FaultPlan
+
 __all__ = [
     "Algorithm",
     "SplitPolicy",
@@ -318,6 +320,9 @@ class RunConfig:
     #: cap on retained trace records (None = unbounded); with a bound the
     #: tracer keeps the most recent records and counts the dropped ones
     trace_buffer: Optional[int] = None
+    #: seeded fault plan (crashes, message drops, link slowdowns); None
+    #: runs the exact fault-free code path (see docs/FAULTS.md)
+    faults: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.initial_nodes < 1:

@@ -10,8 +10,11 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from typing import Optional
+
 from ..cluster import Cluster, Node
 from ..config import RunConfig
+from ..faults import FaultInjector
 from ..hashing import PositionMap
 from ..obs import MetricsRegistry, SpanLog
 from ..sim import Simulator, Tracer
@@ -29,13 +32,25 @@ class RunContext:
         self.cfg = cfg
         self.metrics = MetricsRegistry(clock=lambda: sim.now)
         self.spans = SpanLog()
+        self.tracer = Tracer(enabled=cfg.trace, maxlen=cfg.trace_buffer)
+        #: fault injector (None on the fault-free path — the network then
+        #: takes the exact pre-fault code path, byte for byte)
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(cfg.faults, sim, self.metrics, trace=self.trace)
+            if cfg.faults is not None and cfg.faults.active
+            else None
+        )
         self.cluster = Cluster.build(
-            sim, cfg.effective_cluster, metrics=self.metrics
+            sim, cfg.effective_cluster, metrics=self.metrics,
+            faults=self.faults,
         )
         self.posmap = PositionMap(cfg.hash_positions, mix=cfg.mix_hash)
-        self.tracer = Tracer(enabled=cfg.trace, maxlen=cfg.trace_buffer)
         self.comm = CommStats()
         self.cost = cfg.effective_cluster.cost
+        if self.faults is not None:
+            self.faults.resolve_timing(self.cost)
+        #: monotonically increasing data-chunk sequence (duplicate keying)
+        self._next_seq = 0
         # Barrier-split-pointer semantics (§4.2.1): at most one split's
         # data transfer is on the wire at a time — the scheduler's "done"
         # message gates the next split, so split traffic serializes at
@@ -71,8 +86,16 @@ class RunContext:
     # messaging
     # ------------------------------------------------------------------
     def send(self, src: Node, dst: Node, msg: Any) -> Generator[Any, Any, None]:
-        """Send ``msg`` over the network, recording comm statistics."""
+        """Send ``msg`` over the network, recording comm statistics.
+
+        Data chunks are stamped with a run-unique ``transfer_seq`` here —
+        the single chokepoint every actor sends through — so receivers can
+        suppress re-deliveries idempotently (at-least-once transport).
+        """
         if isinstance(msg, DataChunk):
+            if msg.transfer_seq < 0:
+                msg.transfer_seq = self._next_seq
+                self._next_seq += 1
             self.comm.tuples_by_hop[msg.hop] = (
                 self.comm.tuples_by_hop.get(msg.hop, 0) + msg.tuples
             )

@@ -55,8 +55,13 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
     joins = [
         JoinProcess(ctx, j, auto_spill=auto_spill) for j in range(ctx.n_potential)
     ]
+    join_procs = {}
     for jp in joins:
-        sim.spawn(jp.run(), name=f"join{jp.index}")
+        join_procs[jp.index] = sim.spawn(jp.run(), name=f"join{jp.index}")
+
+    if ctx.faults is not None:
+        ctx.faults.attach_joins(join_procs, {jp.index: jp for jp in joins})
+        ctx.faults.start()
 
     sources = [
         DataSourceProcess(ctx, s, scheduler.router) for s in range(ctx.n_sources)

@@ -24,8 +24,10 @@ import numpy as np
 
 from ..hashing import HashRange, NodeHashStore
 from ..seqjoin import match_count
+from ..sim import Interrupt
 from .context import RunContext
 from .messages import (
+    ActivateAck,
     ActivateJoin,
     BisectOrder,
     CountRequest,
@@ -179,6 +181,7 @@ class JoinProcess:
     CLOSED = "closed"      # replication: full, forwards build traffic
     PROBE = "probe"
     DONE = "done"
+    CRASHED = "crashed"    # fail-stop fault injected while dormant
 
     def __init__(self, ctx: RunContext, join_index: int, auto_spill: bool = False):
         self.ctx = ctx
@@ -197,6 +200,9 @@ class JoinProcess:
         self.my_range: Optional[HashRange] = None
         self.bucket: Optional[int] = None
         self.successor: Optional[int] = None       # replication forwarding
+        #: sequence numbers of data chunks already received — duplicate
+        #: suppression for the at-least-once transport (idempotent receipt)
+        self._seen_seqs: set[tuple[int, int]] = set()
         self.shed_chain: list[tuple[ShedPredicate, int]] = []
         self.parked: deque[DataChunk] = deque()
         self.pre_activation: deque[DataChunk] = deque()
@@ -230,12 +236,29 @@ class JoinProcess:
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> Generator[Any, Any, None]:
-        while self.state != self.DONE:
-            msg = yield self.node.mailbox.get()
+        while self.state not in (self.DONE, self.CRASHED):
+            get_ev = self.node.mailbox.get()
+            try:
+                msg = yield get_ev
+            except Interrupt as itr:
+                # Fail-stop crash injected by the fault plan.  Only a
+                # dormant node is ever interrupted (the injector refuses
+                # to kill a node holding join state); withdraw the pending
+                # mailbox getter so later deliveries are not silently
+                # consumed by a dead waiter, and vanish without a trace —
+                # no FinalReport, no acks: the scheduler must discover the
+                # death through its recruit timeout.
+                self.node.mailbox.cancel_get(get_ev)
+                self.state = self.CRASHED
+                self.ctx.trace("crashed", f"join{self.index}",
+                               cause=str(itr.cause))
+                return
             yield from self._dispatch(msg)
 
     def _dispatch(self, msg: Any) -> Generator[Any, Any, None]:
         if isinstance(msg, DataChunk):
+            if self._suppress_duplicate(msg):
+                return
             if msg.relation == "R":
                 yield from self._on_build_chunk(msg)
             elif msg.relation == "O":
@@ -271,6 +294,36 @@ class JoinProcess:
         else:
             raise RuntimeError(f"join{self.index}: unexpected message {msg!r}")
 
+    def _suppress_duplicate(self, chunk: DataChunk) -> bool:
+        """Idempotent receipt: drop a re-delivered data chunk.
+
+        The reliable transport suppresses lost-ack retransmissions at the
+        network layer, so in an integrated run duplicates never reach a
+        mailbox; this is the actor-level defense the at-least-once contract
+        still requires (and the unit tests exercise directly).  A duplicate
+        is counted as received *and* processed — it arrived and was retired
+        without effect — and its receive-window credit is returned, so the
+        drain counters and flow control stay balanced either way.
+        """
+        if chunk.transfer_seq < 0:
+            return False
+        key = (chunk.origin, chunk.transfer_seq)
+        if key not in self._seen_seqs:
+            self._seen_seqs.add(key)
+            return False
+        if chunk.relation == "R":
+            self.received_build += 1
+            self.processed_build += 1
+        else:
+            self.received_probe += 1
+            self.processed_probe += 1
+        self.node.recv_credits.release()
+        self.ctx.metrics.inc("faults_duplicates_suppressed", 1,
+                             node=self.node.name)
+        self.ctx.trace("duplicate_suppressed", f"join{self.index}",
+                       origin=chunk.origin, seq=chunk.transfer_seq)
+        return True
+
     # ------------------------------------------------------------------
     # activation
     # ------------------------------------------------------------------
@@ -285,6 +338,11 @@ class JoinProcess:
             self.probe_started_at = self.activated_at
         self.ctx.trace("activate", f"join{self.index}",
                        range=str(msg.hash_range), bucket=msg.bucket)
+        # Confirm recruitment before replaying raced-ahead chunks: the
+        # scheduler's recruit timeout must measure liveness, not workload.
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node, ActivateAck(self.index)
+        )
         if self.auto_spill is False and self.ctx.cfg.algorithm.value == "ooc":
             # Defensive: the driver wires auto_spill for OOC runs.
             self.auto_spill = True

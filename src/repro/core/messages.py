@@ -26,6 +26,7 @@ __all__ = [
     "Hop",
     "DataChunk",
     "ActivateJoin",
+    "ActivateAck",
     "RouteUpdate",
     "MemoryFull",
     "ReplicateOrder",
@@ -89,6 +90,10 @@ class DataChunk:
     hop: str = Hop.PRIMARY
     origin: int = -1                # sending actor id (diagnostics)
     version: int = 0                # router version used to route this chunk
+    #: per-run unique sequence number (stamped by RunContext.send); the
+    #: receiver suppresses re-deliveries keyed on (origin, transfer_seq) —
+    #: the idempotence layer an at-least-once transport requires
+    transfer_seq: int = -1
 
     kind = "data"
 
@@ -125,6 +130,18 @@ class ActivateJoin(_Control):
     phase: str = "build"
     #: recruited as a probe-phase output sink (footnote 1), not a bucket
     output_sink: bool = False
+
+
+@dataclass
+class ActivateAck(_Control):
+    """A recruit confirming its ActivateJoin (join node -> scheduler).
+
+    Recruitment is acknowledged so the scheduler can distinguish a live
+    recruit from a crashed pool node: no ack within the recruit timeout
+    means the scheduler excludes the node and retries a different one
+    (see ``SchedulerProcess.recruit_node``)."""
+
+    node: int
 
 
 @dataclass

@@ -29,19 +29,19 @@ class ReplicationStrategy(ExpansionStrategy):
 
     def expand(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
         sched = self.sched
-        new_node = sched.alloc_node()
-        if new_node is None:
-            return (yield from self.fallback_spill(reporter))
-
         router: RangeRouter = sched.router  # type: ignore[assignment]
         idx = _entry_of_active(router, reporter)
         rng, _chain = router.entries[idx]
 
-        # Recruit the replica with the same hash range, then tell the full
+        # Recruit the replica with the same hash range (acked — a dead
+        # recruit is retried on a different pool node, and routing only
+        # ever references confirmed-live replicas), then tell the full
         # node to forward its pending buffers and close.
-        yield from sched.send_to_join(
-            new_node, ActivateJoin(new_node, hash_range=rng)
+        new_node = yield from sched.recruit_node(
+            lambda j: ActivateJoin(j, hash_range=rng)
         )
+        if new_node is None:
+            return (yield from self.fallback_spill(reporter))
         sched.router = router.with_replica(idx, new_node, sched.next_version())
         yield from sched.send_to_join(reporter, ReplicateOrder(new_node=new_node))
         yield from sched.broadcast_to_sources(RouteUpdate(sched.router))

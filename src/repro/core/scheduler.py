@@ -27,9 +27,11 @@ from typing import Any, Callable, Generator, Optional
 
 import numpy as np
 
+from ..faults import UnrecoverableFaultError
 from ..hashing import RangeRouter, Router, partition_range_by_counts
 from .context import RunContext
 from .messages import (
+    ActivateAck,
     ActivateJoin,
     CountRequest,
     CountVector,
@@ -106,6 +108,30 @@ class SchedulerProcess:
         self.relief_active = False
         #: nodes degraded to disk spilling (pool exhausted / atomic range)
         self.spilled_nodes: set[int] = set()
+        #: pool nodes that never acked their ActivateJoin (presumed dead)
+        self.dead_nodes: list[int] = []
+        # Recruit-ack timeout (simulated seconds), applied only under fault
+        # injection — on a fault-free run an ack cannot be lost, so waiting
+        # without a deadline is always correct.  The derived default must
+        # dominate the worst case for a *healthy* recruit: its receive port
+        # can hold at most the credit window of data chunks ahead of the
+        # ActivateJoin, so a generous multiple of one chunk's wire time is
+        # safe at every workload scale.
+        plan = ctx.cfg.faults
+        wl = self.cfg.workload
+        chunk_wire = ctx.cost.net_latency + ctx.cost.wire_time(
+            wl.chunk_tuples * wl.tuple_bytes
+        )
+        self._recruit_timeout_s = (
+            plan.recruit_timeout_s
+            if plan is not None and plan.recruit_timeout_s is not None
+            else 16.0 * chunk_wire + 20.0 * self.cfg.effective_drain_poll
+        )
+        self._recruit_backoff_max_s = (
+            plan.recruit_backoff_max_s
+            if plan is not None and plan.recruit_backoff_max_s is not None
+            else 8.0 * self._recruit_timeout_s
+        )
 
         # source bookkeeping
         self._source_done: dict[str, set[int]] = {"R": set(), "S": set()}
@@ -127,18 +153,85 @@ class SchedulerProcess:
         self._version += 1
         return self._version
 
-    def alloc_node(self) -> Optional[int]:
-        """Recruit the potential node with the most available memory
-        (paper's selection rule); ties broken by lowest pool index."""
+    def _pick_candidate(self) -> Optional[int]:
+        """Remove and return the potential node with the most available
+        memory (paper's selection rule); ties broken by lowest pool index."""
         if not self.potential:
             return None
         spec = self.ctx.cfg.effective_cluster
         best = max(self.potential, key=lambda j: (spec.memory_of(j), -j))
         self.potential.remove(best)
-        self.working.append(best)
-        self.activated.append(best)
-        self.outcome.expansion_trace.append((self.ctx.sim.now, best))
         return best
+
+    def recruit_node(
+        self, make_activate: Callable[[int], ActivateJoin], phase: str = "build"
+    ) -> Generator[Any, Any, Optional[int]]:
+        """Acknowledged recruitment with failure handling.
+
+        Picks a candidate from the potential pool, sends it the
+        ``ActivateJoin`` built by ``make_activate(candidate)``, and waits
+        for its :class:`ActivateAck`.  If no ack arrives within the recruit
+        timeout (a simulated-seconds deadline checked on drain-poll ticks,
+        so no stray timer events enter the simulation), the candidate is
+        presumed dead: it is excluded from the pool for good, the
+        scheduler backs off exponentially (capped), and a *different*
+        candidate is tried.  Returns the recruited pool index, or ``None``
+        when the pool is exhausted — the caller then degrades to the OOC
+        spill path (``ExpansionStrategy.fallback_spill``).
+
+        A live recruit whose ack merely arrived late becomes a "zombie":
+        activated but unknown to the pools.  Its stale ack is ignored by
+        ``_dispatch_common`` and its FinalReport is accepted (but not
+        awaited) at shutdown, so correctness is unaffected either way.
+        """
+        backoff = self._recruit_timeout_s / 2.0
+        while True:
+            cand = self._pick_candidate()
+            if cand is None:
+                self.ctx.trace("pool_exhausted", "scheduler", phase=phase)
+                return None
+            yield from self.send_to_join(cand, make_activate(cand))
+            if (yield from self._await_activate_ack(cand)):
+                self.working.append(cand)
+                self.activated.append(cand)
+                self.outcome.expansion_trace.append((self.ctx.sim.now, cand))
+                return cand
+            self.dead_nodes.append(cand)
+            self.ctx.metrics.inc("faults_recruit_failures", 1, phase=phase)
+            self.ctx.metrics.inc("retries_total", 1, kind="recruit")
+            self.ctx.trace("recruit_timeout", "scheduler",
+                           node=cand, phase=phase)
+            yield from self._await_backoff(backoff)
+            backoff = min(backoff * 2.0, self._recruit_backoff_max_s)
+
+    def _await_activate_ack(self, cand: int) -> Generator[Any, Any, bool]:
+        """Wait for ``cand``'s ActivateAck; False once the deadline passes.
+
+        Without an injector there is no deadline: acks cannot be lost, so
+        unbounded waiting is always correct and can never misdeclare a
+        busy-but-healthy recruit dead."""
+        deadline = (
+            None if self.ctx.faults is None
+            else self.ctx.sim.now + self._recruit_timeout_s
+        )
+        while True:
+            msg = yield self.node.mailbox.get()
+            if isinstance(msg, ActivateAck) and msg.node == cand:
+                return True
+            if isinstance(msg, PollTick):
+                if deadline is not None and self.ctx.sim.now >= deadline:
+                    return False
+                continue
+            self._dispatch_common(msg)
+
+    def _await_backoff(self, seconds: float) -> Generator[Any, Any, None]:
+        """Idle until ``seconds`` from now (measured on drain-poll ticks),
+        still absorbing other traffic."""
+        deadline = self.ctx.sim.now + seconds
+        while self.ctx.sim.now < deadline:
+            msg = yield self.node.mailbox.get()
+            if not isinstance(msg, PollTick):
+                self._dispatch_common(msg)
 
     def mark_full(self, node: int) -> None:
         """Move a node from the working to the full list (replication)."""
@@ -196,6 +289,11 @@ class SchedulerProcess:
             # evaluation re-checks relief/queue state before declaring a
             # phase drained.
             self._collect_report(msg)
+        elif isinstance(msg, ActivateAck):
+            # A recruit we timed out on answered after all: it is alive and
+            # activated but excluded from the pools (a zombie).  Ignore the
+            # ack — its FinalReport is accepted at shutdown regardless.
+            self.ctx.trace("stale_activate_ack", "scheduler", node=msg.node)
         elif isinstance(msg, PollTick):
             pass  # ticks are only meaningful to an idle phase loop
         else:
@@ -206,7 +304,17 @@ class SchedulerProcess:
     # ------------------------------------------------------------------
     def run(self) -> Generator[Any, Any, SchedulerOutcome]:
         ctx = self.ctx
-        # Activate the initial working join nodes.
+        # Ticker first: the initial-activation ack timeout counts its ticks.
+        ctx.sim.spawn(
+            _ticker(ctx, self._ticker_flag, self.cfg.effective_drain_poll,
+                    self.node.mailbox),
+            name="drain-ticker",
+        )
+        self._notify_faults("build")
+        # Activate the initial working join nodes and await their acks.
+        # Initial nodes are not replaceable (the initial router is fixed
+        # before activation), so a missing ack here is unrecoverable —
+        # unlike mid-run recruits, which retry a different pool node.
         if isinstance(self.router, RangeRouter):
             for rng, chain in self.router.entries:
                 yield from self.send_to_join(
@@ -215,26 +323,24 @@ class SchedulerProcess:
         else:  # linear hashing: one bucket per initial node
             for b, j in enumerate(self.router.bucket_nodes):  # type: ignore[attr-defined]
                 yield from self.send_to_join(j, ActivateJoin(j, bucket=b))
-
-        ctx.sim.spawn(
-            _ticker(ctx, self._ticker_flag, self.cfg.effective_drain_poll,
-                    self.node.mailbox),
-            name="drain-ticker",
-        )
+        yield from self._await_initial_acks(set(self.activated))
 
         yield from self._build_phase()
         self.outcome.t_build = ctx.sim.now
         ctx.trace("phase", "scheduler", phase="build_done")
 
         if self.strategy.needs_reshuffle:
+            self._notify_faults("reshuffle")
             yield from self._reshuffle_phase()
         self.outcome.t_reshuffle = ctx.sim.now
         ctx.trace("phase", "scheduler", phase="reshuffle_done")
 
+        self._notify_faults("probe")
         yield from self._probe_phase()
         self.outcome.t_probe = ctx.sim.now
         ctx.trace("phase", "scheduler", phase="probe_done")
 
+        self._notify_faults("ooc")
         yield from self._ooc_pass_phase()
         self.outcome.t_ooc = ctx.sim.now
         ctx.trace("phase", "scheduler", phase="ooc_done")
@@ -242,6 +348,34 @@ class SchedulerProcess:
         yield from self._shutdown()
         self.outcome.activated = list(self.activated)
         return self.outcome
+
+    def _notify_faults(self, phase: str) -> None:
+        """Synchronous phase-entry hook for phase-triggered crash specs."""
+        if self.ctx.faults is not None:
+            self.ctx.faults.notify_phase(phase)
+
+    def _await_initial_acks(self, pending: set[int]) -> Generator[Any, Any, None]:
+        deadline = (
+            None if self.ctx.faults is None
+            else self.ctx.sim.now + self._recruit_timeout_s
+        )
+        while pending:
+            msg = yield self.node.mailbox.get()
+            if isinstance(msg, ActivateAck) and msg.node in pending:
+                pending.discard(msg.node)
+                if deadline is not None:  # progress: extend the deadline
+                    deadline = self.ctx.sim.now + self._recruit_timeout_s
+            elif isinstance(msg, PollTick):
+                if deadline is not None and self.ctx.sim.now >= deadline:
+                    raise UnrecoverableFaultError(
+                        f"initial join node(s) {sorted(pending)} never "
+                        "acknowledged activation — initial nodes cannot be "
+                        "replaced (the routing table is fixed before "
+                        "activation); fault plans may only crash "
+                        "not-yet-recruited pool nodes (docs/FAULTS.md)"
+                    )
+            else:
+                self._dispatch_common(msg)
 
     # ------------------------------------------------------------------
     # build phase
@@ -454,17 +588,16 @@ class SchedulerProcess:
         t0 = self.ctx.sim.now
         self.ctx.metrics.inc("sched.relief_cycles", 1, phase="probe")
         try:
-            new_node = self.alloc_node()
+            new_node = yield from self.recruit_node(
+                lambda j: ActivateJoin(j, phase="probe", output_sink=True),
+                phase="probe",
+            )
             if new_node is None:
                 self.spilled_nodes.add(reporter)
                 self.ctx.trace("output_spill_order", "scheduler",
                                reporter=reporter)
                 yield from self.send_to_join(reporter, SpillOrder())
             else:
-                yield from self.send_to_join(
-                    new_node,
-                    ActivateJoin(new_node, phase="probe", output_sink=True),
-                )
                 yield from self.send_to_join(
                     reporter, OutputRedirect(new_node=new_node)
                 )
@@ -496,7 +629,10 @@ class SchedulerProcess:
             )
         for j in range(self.ctx.n_potential):
             yield from self.send_to_join(j, Shutdown())
-        while len(self.outcome.final_reports) < len(self.activated):
+        # Wait until every *known-activated* node reported.  Set inclusion,
+        # not a count: a zombie recruit (timed out but actually alive) also
+        # sends a FinalReport, which must not terminate this loop early.
+        while not set(self.activated) <= set(self.outcome.final_reports):
             msg = yield from self.await_message(
                 lambda m: isinstance(m, FinalReport)
             )

@@ -89,14 +89,16 @@ class SplitStrategy(ExpansionStrategy):
         router: RangeRouter = sched.router  # type: ignore[assignment]
         idx = _single_owner_entry(router, owner)
         rng, _ = router.entries[idx]
-        new_node = sched.alloc_node()
+        left, right = rng.bisect()
+        # Acked recruitment: the new node confirms it is alive before any
+        # order or routing update references it (a crashed recruit would
+        # otherwise swallow the moved range).  recruit_node retries other
+        # pool nodes on timeout; None means the pool is exhausted.
+        new_node = yield from sched.recruit_node(
+            lambda j: ActivateJoin(j, hash_range=right)
+        )
         if new_node is None:
             return (yield from self.fallback_spill(reporter))
-
-        left, right = rng.bisect()
-        yield from sched.send_to_join(
-            new_node, ActivateJoin(new_node, hash_range=right)
-        )
         sched.router = router.with_bisection(idx, owner, new_node,
                                              sched.next_version())
         yield from sched.send_to_join(
@@ -158,15 +160,19 @@ class SplitStrategy(ExpansionStrategy):
     def _expand_mod(self, reporter: int) -> Generator[Any, Any, ReliefAck]:
         sched = self.sched
         assert self.directory is not None
-        new_node = sched.alloc_node()
+        # The new bucket id is known before the recruit is (densely grown:
+        # modulus + split pointer), so the ActivateJoin can be built for
+        # any candidate and the directory committed only after the ack.
+        new_bucket = self.directory.next_new_bucket
+        new_node = yield from sched.recruit_node(
+            lambda j: ActivateJoin(j, bucket=new_bucket)
+        )
         if new_node is None:
             return (yield from self.fallback_spill(reporter))
 
         t0 = sched.ctx.sim.now
         ticket = self.directory.begin_split(new_node)
-        yield from sched.send_to_join(
-            new_node, ActivateJoin(new_node, bucket=ticket.new_bucket)
-        )
+        assert ticket.new_bucket == new_bucket
         yield from sched.send_to_join(
             ticket.owner_node,
             LinearSplitOrder(

@@ -1,0 +1,440 @@
+"""Deterministic fault injection for the simulated cluster (``repro.faults``).
+
+The paper's premise is elasticity on a *shared* cluster, and shared
+clusters misbehave: recruits die before they activate, links drop or delay
+packets, acknowledgements get lost.  This module supplies a seeded,
+reproducible :class:`FaultPlan` describing such adversity and the
+:class:`FaultInjector` that executes it against one run.  The recovery
+machinery it exercises lives in the protocol layers:
+
+* ``cluster/network.py`` — per-message ack/timeout/retransmission with
+  exponential backoff (``Network.send``); dropped and duplicate bytes are
+  accounted separately so byte conservation stays checkable,
+* ``core/joinnode.py`` — idempotent receipt of data chunks (duplicate
+  suppression keyed on ``(origin, transfer_seq)``) and a crash-safe run
+  loop (a fail-stop interrupt while dormant kills the node cleanly),
+* ``core/scheduler.py`` — acknowledged recruitment: every ``ActivateJoin``
+  is acked by the recruit, timeouts retry a *different* pool node with
+  exponential backoff, and pool exhaustion degrades gracefully to the
+  out-of-core spill path (``fallback_spill``).
+
+Everything is deterministic: one seeded RNG stream consumed in simulation
+event order, so a given ``(RunConfig, FaultPlan)`` pair always produces the
+identical trajectory, metrics, and result — chaos you can bisect.
+
+Supported crash model (documented scope): **fail-stop crashes of dormant
+pool nodes** — the interesting failure for the paper's algorithms, because
+it breaks recruitment mid-expansion.  Crashing a node that already holds
+build tuples would require state replication or upstream replay to keep
+the join answer exact, which the 2004 protocol does not have; asking for
+it raises :class:`UnrecoverableFaultError` instead of silently corrupting
+the result.  See docs/FAULTS.md for the schema and worked examples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from .obs import MetricsRegistry
+    from .sim import Simulator
+
+__all__ = [
+    "PHASES",
+    "CrashSpec",
+    "LinkSlowdown",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultPlanError",
+    "UnrecoverableFaultError",
+]
+
+#: phase names a :class:`CrashSpec` may trigger on (scheduler phase entry)
+PHASES = ("build", "reshuffle", "probe", "ooc")
+
+
+class FaultPlanError(ValueError):
+    """The fault plan is malformed or references nonexistent targets."""
+
+
+class UnrecoverableFaultError(RuntimeError):
+    """An injected fault exceeds the protocol's recovery envelope.
+
+    Raised when a crash targets a node that already holds join state
+    (recovery would need replication/replay — out of scope, see module
+    docstring) or when a link is so lossy that a message exhausts
+    ``FaultPlan.max_attempts`` retransmissions.
+    """
+
+
+# ----------------------------------------------------------------------
+# plan (pure data, JSON round-trippable)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashSpec:
+    """Fail-stop crash of join-pool node ``node`` (pool index).
+
+    Fires either at simulated time ``at_time`` or on entry to scheduler
+    phase ``at_phase`` (one of :data:`PHASES`); exactly one must be set.
+    """
+
+    node: int
+    at_time: Optional[float] = None
+    at_phase: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultPlanError(f"crash node must be >= 0, got {self.node}")
+        if (self.at_time is None) == (self.at_phase is None):
+            raise FaultPlanError(
+                "crash spec needs exactly one of at_time / at_phase"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise FaultPlanError("crash at_time must be >= 0")
+        if self.at_phase is not None and self.at_phase not in PHASES:
+            raise FaultPlanError(
+                f"unknown crash phase {self.at_phase!r}; expected one of {PHASES}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkSlowdown:
+    """Multiply wire time by ``factor`` on matching links during [t0, t1).
+
+    ``src``/``dst`` are *global* node ids (``Node.node_id``); ``None``
+    matches any endpoint.
+    """
+
+    t0: float
+    t1: float
+    factor: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise FaultPlanError("slowdown factor must be >= 1")
+        if not (0.0 <= self.t0 < self.t1):
+            raise FaultPlanError("slowdown window needs 0 <= t0 < t1")
+
+    def matches(self, src_id: int, dst_id: int, now: float) -> bool:
+        return (
+            self.t0 <= now < self.t1
+            and (self.src is None or self.src == src_id)
+            and (self.dst is None or self.dst == dst_id)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of one run's adversity.
+
+    All randomness (drop verdicts) comes from a single RNG stream seeded
+    with ``seed`` and consumed in simulation event order — deterministic
+    and replayable.  ``drop_prob`` applies to the payload of **every**
+    inter-node message; ``ack_drop_prob`` independently loses the delivery
+    acknowledgement (the payload arrived, so the retransmission is a
+    duplicate the receiver must suppress).  Retransmission timing follows
+    ``rto_s * rto_backoff**k`` capped at ``rto_max_s``; a message that
+    exhausts ``max_attempts`` raises :class:`UnrecoverableFaultError`
+    rather than deadlocking the run.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    ack_drop_prob: float = 0.0
+    crashes: tuple[CrashSpec, ...] = ()
+    slowdowns: tuple[LinkSlowdown, ...] = ()
+    #: base retransmission timeout; ``None`` derives it from the cost
+    #: model at run start (4 x (propagation latency + 64 KiB wire time))
+    rto_s: Optional[float] = None
+    rto_backoff: float = 2.0
+    rto_max_s: Optional[float] = None
+    max_attempts: int = 50
+    #: recruit-ack timeout in simulated seconds, checked at drain-poll-tick
+    #: granularity (no extra timer events); ``None`` derives it from the
+    #: cost model and chunk size so it always dominates worst-case
+    #: receive-port queueing of a healthy recruit
+    recruit_timeout_s: Optional[float] = None
+    recruit_backoff_max_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "ack_drop_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p < 1.0):
+                raise FaultPlanError(f"{name} must be in [0, 1), got {p}")
+        if self.rto_s is not None and self.rto_s <= 0:
+            raise FaultPlanError("rto_s must be > 0")
+        if self.rto_backoff < 1.0:
+            raise FaultPlanError("rto_backoff must be >= 1")
+        if self.max_attempts < 1:
+            raise FaultPlanError("max_attempts must be >= 1")
+        if self.recruit_timeout_s is not None and self.recruit_timeout_s <= 0:
+            raise FaultPlanError("recruit_timeout_s must be > 0")
+        if (self.recruit_backoff_max_s is not None
+                and self.recruit_backoff_max_s <= 0):
+            raise FaultPlanError("recruit_backoff_max_s must be > 0")
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def any_link_faults(self) -> bool:
+        """True if the reliable-transport path must engage at all."""
+        return (
+            self.drop_prob > 0.0
+            or self.ack_drop_prob > 0.0
+            or bool(self.slowdowns)
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.any_link_faults or bool(self.crashes)
+
+    def with_crashes(self, *specs: CrashSpec) -> "FaultPlan":
+        return replace(self, crashes=self.crashes + tuple(specs))
+
+    # -- JSON ------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "drop_prob": self.drop_prob,
+            "ack_drop_prob": self.ack_drop_prob,
+            "crashes": [
+                {"node": c.node, "at_time": c.at_time, "at_phase": c.at_phase}
+                for c in self.crashes
+            ],
+            "slowdowns": [
+                {"t0": s.t0, "t1": s.t1, "factor": s.factor,
+                 "src": s.src, "dst": s.dst}
+                for s in self.slowdowns
+            ],
+            "rto_s": self.rto_s,
+            "rto_backoff": self.rto_backoff,
+            "rto_max_s": self.rto_max_s,
+            "max_attempts": self.max_attempts,
+            "recruit_timeout_s": self.recruit_timeout_s,
+            "recruit_backoff_max_s": self.recruit_backoff_max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(data).__name__}")
+        known = {
+            "seed", "drop_prob", "ack_drop_prob", "crashes", "slowdowns",
+            "rto_s", "rto_backoff", "rto_max_s", "max_attempts",
+            "recruit_timeout_s", "recruit_backoff_max_s",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        try:
+            kwargs["crashes"] = tuple(
+                CrashSpec(**c) for c in data.get("crashes", ())
+            )
+            kwargs["slowdowns"] = tuple(
+                LinkSlowdown(**s) for s in data.get("slowdowns", ())
+            )
+        except TypeError as exc:
+            raise FaultPlanError(f"malformed crash/slowdown entry: {exc}") from exc
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# injector (runtime, bound to one simulation)
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one run.
+
+    The network consults it per message (drop verdicts, slowdown factor,
+    retransmission timeouts); the driver attaches the join processes and
+    calls :meth:`start`; the scheduler reports phase entries through
+    :meth:`notify_phase` so phase-triggered crashes fire synchronously.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sim: "Simulator",
+        metrics: "MetricsRegistry",
+        trace: Optional[Callable[..., None]] = None,
+    ):
+        self.plan = plan
+        self.sim = sim
+        self.metrics = metrics
+        self._trace = trace
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=plan.seed, spawn_key=(91,))
+        )
+        #: pool indices of nodes killed so far
+        self.crashed: set[int] = set()
+        self._joins: dict[int, Any] = {}  # pool index -> JoinProcess
+        self._procs: dict[int, Any] = {}  # pool index -> sim Process
+        self._fired: set[int] = set()  # indices into plan.crashes
+        # resolved retransmission timing (rto_s may be derived from cost)
+        self._rto = plan.rto_s
+        self._rto_max = plan.rto_max_s
+
+    # -- wiring ----------------------------------------------------------
+    def resolve_timing(self, cost: Any) -> None:
+        """Derive default RTO from the cost model (driver calls this)."""
+        if self._rto is None:
+            self._rto = 4.0 * (cost.net_latency + cost.wire_time(64 * 1024))
+        if self._rto_max is None:
+            self._rto_max = 32.0 * self._rto
+
+    def attach_joins(self, procs: dict[int, Any], joins: dict[int, Any]) -> None:
+        """Register join processes so crash specs can find their targets."""
+        self._procs = dict(procs)
+        self._joins = dict(joins)
+        for i, spec in enumerate(self.plan.crashes):
+            if spec.node not in self._joins:
+                raise FaultPlanError(
+                    f"crash spec #{i} targets join node {spec.node}, but the "
+                    f"pool has indices {sorted(self._joins)}"
+                )
+
+    def start(self) -> None:
+        """Spawn timer processes for time-triggered crashes."""
+        for i, spec in enumerate(self.plan.crashes):
+            if spec.at_time is not None:
+                self.sim.spawn(
+                    self._crash_at(i, spec), name=f"fault:crash@{spec.at_time}"
+                )
+
+    def _crash_at(self, idx: int, spec: CrashSpec):
+        if spec.at_time > self.sim.now:
+            yield self.sim.timeout(spec.at_time - self.sim.now)
+        self._fire_crash(idx, spec)
+
+    def notify_phase(self, phase: str) -> None:
+        """Scheduler phase-entry hook: fire matching phase crashes now."""
+        for i, spec in enumerate(self.plan.crashes):
+            if spec.at_phase == phase and i not in self._fired:
+                self._fire_crash(i, spec)
+
+    def _fire_crash(self, idx: int, spec: CrashSpec) -> None:
+        if idx in self._fired:
+            return
+        self._fired.add(idx)
+        join = self._joins[spec.node]
+        proc = self._procs[spec.node]
+        if spec.node in self.crashed or not proc.is_alive:
+            self.trace("crash_noop", node=spec.node)
+            return
+        if join.state != join.DORMANT:
+            raise UnrecoverableFaultError(
+                f"fault plan crashes join node {spec.node} while {join.state} "
+                "— it holds join state, and the protocol has no replication/"
+                "replay to recover it (see docs/FAULTS.md: supported crash "
+                "model is fail-stop of dormant pool nodes)"
+            )
+        self.crashed.add(spec.node)
+        proc.interrupt(cause=("node_crash", spec.node))
+        self.metrics.counter("faults_injected", kind="crash").inc()
+        self.metrics.counter("faults_crashes").inc()
+        self.trace("node_crash", node=spec.node)
+
+    # -- link verdicts (network hot path) --------------------------------
+    @property
+    def links_active(self) -> bool:
+        return self.plan.any_link_faults
+
+    def roll_drop(self, src_id: int, dst_id: int) -> bool:
+        """Payload-loss verdict for one transmission attempt.
+
+        Loopback (``src == dst``) never drops: the message never touches
+        a link.  No RNG draw happens when the probability is zero, so a
+        plan with only crashes perturbs nothing else.
+        """
+        if src_id == dst_id or self.plan.drop_prob <= 0.0:
+            return False
+        if float(self._rng.random()) >= self.plan.drop_prob:
+            return False
+        self.metrics.counter("faults_injected", kind="message_drop").inc()
+        return True
+
+    def roll_ack_drop(self, src_id: int, dst_id: int) -> bool:
+        """Ack-loss verdict (payload arrived; sender will retransmit)."""
+        if src_id == dst_id or self.plan.ack_drop_prob <= 0.0:
+            return False
+        if float(self._rng.random()) >= self.plan.ack_drop_prob:
+            return False
+        self.metrics.counter("faults_injected", kind="ack_drop").inc()
+        return True
+
+    def slowdown_factor(self, src_id: int, dst_id: int, now: float) -> float:
+        """Wire-time multiplier for this link at this instant (>= 1)."""
+        factor = 1.0
+        for s in self.plan.slowdowns:
+            if s.matches(src_id, dst_id, now):
+                factor = max(factor, s.factor)
+        return factor
+
+    # -- retransmission timing -------------------------------------------
+    def rto(self, attempt: int) -> float:
+        """Timeout before retransmission ``attempt`` (1-based), backed off
+        exponentially and capped at ``rto_max_s``."""
+        assert self._rto is not None, "resolve_timing() not called"
+        return min(
+            self._rto * self.plan.rto_backoff ** max(attempt - 1, 0),
+            self._rto_max if self._rto_max is not None else float("inf"),
+        )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.plan.max_attempts
+
+    def count_retry(self, kind: str) -> None:
+        self.metrics.counter("retries_total", kind=kind).inc()
+
+    # -- misc ------------------------------------------------------------
+    def is_crashed(self, pool_index: int) -> bool:
+        return pool_index in self.crashed
+
+    def trace(self, event: str, **fields: Any) -> None:
+        if self._trace is not None:
+            self._trace(event, "faults", **fields)
+
+
+def crash_specs_from_cli(specs: Iterable[str]) -> tuple[CrashSpec, ...]:
+    """Parse ``--crash-node`` values: ``N`` (t=0), ``N@T``, ``N@phase:P``."""
+    out = []
+    for raw in specs:
+        node_part, _, when = raw.partition("@")
+        try:
+            node = int(node_part)
+        except ValueError:
+            raise FaultPlanError(f"bad --crash-node {raw!r}: node must be an int")
+        if not when:
+            out.append(CrashSpec(node=node, at_time=0.0))
+        elif when.startswith("phase:"):
+            out.append(CrashSpec(node=node, at_phase=when[len("phase:"):]))
+        else:
+            try:
+                out.append(CrashSpec(node=node, at_time=float(when)))
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad --crash-node {raw!r}: expected N, N@TIME or N@phase:NAME"
+                )
+    return tuple(out)

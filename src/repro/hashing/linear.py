@@ -65,6 +65,19 @@ class LinearHashDirectory:
     def split_in_progress(self) -> bool:
         return self._in_flight is not None
 
+    @property
+    def next_new_bucket(self) -> int:
+        """Bucket id the *next* ``begin_split`` will create.
+
+        Buckets grow densely (``modulus + split_pointer``), so the id is
+        known before a recruit is chosen — which lets the scheduler run
+        acked recruitment (retrying different candidates) and commit the
+        directory only once the recruit confirmed it is alive.
+        """
+        if self._in_flight is not None:
+            raise RuntimeError("split already in progress (barrier pointer held)")
+        return self.modulus + self.split_pointer
+
     def owner_of_bucket(self, bucket: int) -> int:
         return self.bucket_nodes[bucket]
 

@@ -37,6 +37,21 @@ def harvest_network(registry: MetricsRegistry, network: Any) -> None:
         registry.counter("net.sent_messages", kind=kind).inc(count)
     for kind, count in network.delivered_messages.items():
         registry.counter("net.delivered_messages", kind=kind).inc(count)
+    # Fault-injection accounting (all zero / absent on fault-free runs).
+    for (src, dst, kind), nbytes in network.dropped_bytes.items():
+        registry.counter(
+            "net.dropped_bytes", src=src, dst=dst, kind=kind
+        ).inc(nbytes)
+    for (src, dst, kind), nbytes in network.duplicate_bytes.items():
+        registry.counter(
+            "net.duplicate_bytes", src=src, dst=dst, kind=kind
+        ).inc(nbytes)
+    for kind, count in network.dropped_messages.items():
+        registry.counter("net.dropped_messages", kind=kind).inc(count)
+    for kind, count in network.duplicate_messages.items():
+        registry.counter("net.duplicate_messages", kind=kind).inc(count)
+    if network.retransmissions:
+        registry.counter("net.retransmissions").inc(network.retransmissions)
 
 
 def harvest_nodes(registry: MetricsRegistry, nodes: Iterable[Any]) -> None:

@@ -1,0 +1,42 @@
+"""Documentation hygiene: every relative markdown link resolves.
+
+Scans the repo's top-level ``*.md`` files and ``docs/`` for
+``[text](target)`` links and asserts each non-external target exists on
+disk, so ARCHITECTURE/FAULTS/BENCHMARKS cross-references cannot rot
+silently.  External (``http``/``https``/``mailto``) links and pure
+anchors are skipped — this is a filesystem check, not a crawler.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' surrounding syntax differences is
+# unnecessary: ![alt](target) matches too, which is what we want.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files():
+    files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+    assert files, "no markdown files found — wrong repo layout?"
+    return files
+
+
+@pytest.mark.parametrize("md", markdown_files(), ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(md):
+    broken = []
+    for target in LINK.findall(md.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]  # strip section anchors
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{md.name}: broken relative links: {broken}"

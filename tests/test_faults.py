@@ -1,0 +1,389 @@
+"""Fault-injection & recovery tests (``repro.faults``).
+
+The headline invariant, asserted per algorithm: a run under an adversarial
+fault plan (message drops on every link, lost acks, a node crash) produces
+**exactly** the same join-match count as the fault-free run — recovery is
+exact, not best-effort.  ``run_join(validate=True)`` additionally checks the
+count against the sequential oracle and byte conservation on every run
+here.
+
+Slow whole-system chaos runs carry ``@pytest.mark.chaos`` so CI can run
+them as a dedicated job; plan validation / JSON / unit tests stay in the
+default sweep.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from tests.conftest import small_cluster, small_config, small_workload
+from repro.config import Algorithm
+from repro.core import run_join
+from repro.core.context import RunContext
+from repro.core.joinnode import JoinProcess
+from repro.core.messages import DataChunk, Hop
+from repro.faults import (
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    LinkSlowdown,
+    UnrecoverableFaultError,
+    crash_specs_from_cli,
+)
+from repro.sim import Simulator
+
+ALGOS = list(Algorithm)
+
+
+def counter_total(res, name, **labels):
+    """Sum a counter family over all label sets matching ``labels``."""
+    return sum(
+        inst["value"] for inst in res.metrics
+        if inst["name"] == name and inst["type"] == "counter"
+        and all(inst["labels"].get(k) == v for k, v in labels.items())
+    )
+
+
+# ----------------------------------------------------------------------
+# plan validation & serialization
+# ----------------------------------------------------------------------
+def test_plan_rejects_bad_probabilities():
+    with pytest.raises(FaultPlanError):
+        FaultPlan(drop_prob=1.0)
+    with pytest.raises(FaultPlanError):
+        FaultPlan(ack_drop_prob=-0.1)
+
+
+def test_crash_spec_needs_exactly_one_trigger():
+    with pytest.raises(FaultPlanError):
+        CrashSpec(node=1)
+    with pytest.raises(FaultPlanError):
+        CrashSpec(node=1, at_time=1.0, at_phase="build")
+    with pytest.raises(FaultPlanError):
+        CrashSpec(node=1, at_phase="warmup")
+    with pytest.raises(FaultPlanError):
+        CrashSpec(node=-1, at_time=0.0)
+
+
+def test_slowdown_validation():
+    with pytest.raises(FaultPlanError):
+        LinkSlowdown(t0=0.0, t1=1.0, factor=0.5)
+    with pytest.raises(FaultPlanError):
+        LinkSlowdown(t0=2.0, t1=1.0, factor=2.0)
+    s = LinkSlowdown(t0=0.0, t1=1.0, factor=2.0, src=3)
+    assert s.matches(3, 9, 0.5)
+    assert not s.matches(4, 9, 0.5)
+    assert not s.matches(3, 9, 1.0)  # window is half-open
+
+
+def test_plan_json_roundtrip():
+    plan = FaultPlan(
+        seed=42,
+        drop_prob=0.05,
+        ack_drop_prob=0.01,
+        crashes=(CrashSpec(node=3, at_phase="build"),
+                 CrashSpec(node=4, at_time=1.5)),
+        slowdowns=(LinkSlowdown(t0=0.0, t1=2.0, factor=3.0, dst=7),),
+        max_attempts=20,
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_plan_rejects_unknown_keys_and_bad_json():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"seed": 1, "drop_probability": 0.1})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json("{not json")
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json("[1, 2]")
+
+
+def test_inactive_plan_is_detected():
+    assert not FaultPlan().active
+    assert FaultPlan(drop_prob=0.1).active
+    assert FaultPlan(crashes=(CrashSpec(node=1, at_time=0.0),)).active
+    assert not FaultPlan(crashes=(CrashSpec(node=1, at_time=0.0),)).any_link_faults
+
+
+def test_crash_specs_from_cli():
+    specs = crash_specs_from_cli(["3", "4@1.5", "5@phase:probe"])
+    assert specs == (
+        CrashSpec(node=3, at_time=0.0),
+        CrashSpec(node=4, at_time=1.5),
+        CrashSpec(node=5, at_phase="probe"),
+    )
+    with pytest.raises(FaultPlanError):
+        crash_specs_from_cli(["x"])
+    with pytest.raises(FaultPlanError):
+        crash_specs_from_cli(["3@soon"])
+
+
+def test_attach_rejects_out_of_pool_crash_target(config_factory):
+    cfg = config_factory(faults=FaultPlan(
+        crashes=(CrashSpec(node=99, at_time=0.0),)
+    ))
+    with pytest.raises(FaultPlanError):
+        run_join(cfg)
+
+
+# ----------------------------------------------------------------------
+# unit: receiver-side duplicate suppression
+# ----------------------------------------------------------------------
+def test_joinnode_suppresses_duplicate_chunks():
+    cfg = small_config()
+    ctx = RunContext(Simulator(), cfg)
+    jp = JoinProcess(ctx, 0)
+    node = ctx.join_node(0)
+
+    def chunk(seq, origin=1):
+        return DataChunk(relation="R", values=np.arange(8, dtype=np.uint64),
+                         tuple_bytes=100, hop=Hop.PRIMARY, origin=origin,
+                         transfer_seq=seq)
+
+    # The network holds one receive credit per delivered data chunk; take
+    # one so the duplicate's release has something to return.
+    node.recv_credits.acquire()
+    assert not jp._suppress_duplicate(chunk(5))      # first sighting
+    assert jp._suppress_duplicate(chunk(5))          # re-delivery
+    # The duplicate is counted received AND processed (drain stays balanced)
+    assert jp.received_build == jp.processed_build == 1
+    assert not jp._suppress_duplicate(chunk(5, origin=2))  # other sender
+    assert not jp._suppress_duplicate(chunk(6))      # next sequence
+    assert not jp._suppress_duplicate(chunk(-1))     # unstamped: never dedup
+    assert ctx.metrics.snapshot()
+    assert sum(
+        inst["value"] for inst in ctx.metrics.snapshot()
+        if inst["name"] == "faults_duplicates_suppressed"
+    ) == 1
+
+
+# ----------------------------------------------------------------------
+# unit: injector determinism & RNG frugality
+# ----------------------------------------------------------------------
+def test_injector_draws_no_rng_when_probability_zero():
+    cfg = small_config()
+    ctx = RunContext(Simulator(), cfg)
+    inj = FaultInjector(FaultPlan(crashes=(CrashSpec(node=1, at_time=0.0),)),
+                        ctx.sim, ctx.metrics)
+    state_before = inj._rng.bit_generator.state["state"]
+    assert not inj.roll_drop(1, 2)
+    assert not inj.roll_ack_drop(1, 2)
+    assert inj._rng.bit_generator.state["state"] == state_before
+
+
+def test_injector_loopback_never_drops():
+    cfg = small_config()
+    ctx = RunContext(Simulator(), cfg)
+    inj = FaultInjector(FaultPlan(drop_prob=0.999), ctx.sim, ctx.metrics)
+    assert not any(inj.roll_drop(4, 4) for _ in range(50))
+
+
+def test_rto_backoff_is_exponential_and_capped():
+    cfg = small_config()
+    ctx = RunContext(Simulator(), cfg)
+    inj = FaultInjector(FaultPlan(drop_prob=0.1, rto_s=1.0, rto_backoff=2.0,
+                                  rto_max_s=5.0), ctx.sim, ctx.metrics)
+    inj.resolve_timing(ctx.cost)
+    assert [inj.rto(k) for k in (1, 2, 3, 4, 5)] == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+
+# ----------------------------------------------------------------------
+# whole-system chaos: exact answers under adversity
+# ----------------------------------------------------------------------
+def chaos_plan(crash_node=15):
+    """≥1% drop on every link + lost acks + one pool-node crash."""
+    return FaultPlan(
+        seed=1234,
+        drop_prob=0.02,
+        ack_drop_prob=0.02,
+        crashes=(CrashSpec(node=crash_node, at_phase="build"),),
+    )
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_chaos_preserves_exact_match_count(algorithm):
+    # Skewed keys so the join has real matches to get wrong.
+    wl = small_workload(sigma=1e-5)
+    base = run_join(small_config(algorithm, initial=2, workload=wl))
+    res = run_join(small_config(algorithm, initial=2, workload=wl,
+                                faults=chaos_plan(crash_node=15)))
+    # validate=True already checked res.matches against the oracle; the
+    # acceptance criterion is equality with the fault-free run.
+    assert res.matches == base.matches == res.reference_matches
+    assert base.matches > 0
+    assert counter_total(res, "faults_injected") > 0
+    assert counter_total(res, "faults_injected", kind="message_drop") > 0
+    assert counter_total(res, "retries_total") > 0
+    assert counter_total(res, "faults_crashes") == 1
+    assert counter_total(res, "net.dropped_bytes") > 0
+    # The fault-free run must carry no fault accounting at all.
+    assert counter_total(base, "faults_injected") == 0
+    assert counter_total(base, "net.dropped_bytes") == 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_crash_of_unused_dormant_node_is_invisible(algorithm):
+    """A pure crash plan (no link faults) that kills a node the run never
+    recruits must not perturb the result or the timing at all — no RNG is
+    drawn and the fast network path stays engaged."""
+    base = run_join(small_config(algorithm, initial=12))
+    plan = FaultPlan(crashes=(CrashSpec(node=14, at_time=0.0),))
+    res = run_join(small_config(algorithm, initial=12, faults=plan))
+    assert res.matches == base.matches
+    assert res.times == base.times
+    assert counter_total(res, "faults_crashes") == 1
+    assert counter_total(res, "retries_total") == 0
+
+
+@pytest.mark.chaos
+def test_crash_of_active_node_is_unrecoverable():
+    """Crashing a node that holds join state exceeds the documented
+    recovery envelope (fail-stop of dormant nodes only)."""
+    plan = FaultPlan(crashes=(CrashSpec(node=0, at_phase="probe"),))
+    with pytest.raises(UnrecoverableFaultError):
+        run_join(small_config(Algorithm.HYBRID, initial=2, faults=plan))
+
+
+@pytest.mark.chaos
+def test_recruit_failure_degrades_to_spill():
+    """Kill the whole potential pool: every recruitment times out, the
+    scheduler retries different candidates, and on pool exhaustion the
+    overflowing node degrades to the out-of-core spill path — still
+    producing the exact join answer."""
+    plan = FaultPlan(crashes=tuple(
+        CrashSpec(node=n, at_time=0.0) for n in (2, 3)
+    ))
+    wl = small_workload(sigma=1e-5)
+    cfg = small_config(Algorithm.SPLIT, initial=2, workload=wl,
+                       cluster=small_cluster(pool=4), faults=plan)
+    base = run_join(small_config(Algorithm.SPLIT, initial=2, workload=wl,
+                                 cluster=small_cluster(pool=4)))
+    res = run_join(cfg)
+    assert res.matches == base.matches == res.reference_matches
+    assert res.spilled_r_tuples > 0
+    assert counter_total(res, "faults_recruit_failures") == 2
+    assert counter_total(res, "retries_total", kind="recruit") == 2
+    assert counter_total(res, "faults_crashes") == 2
+    assert res.nodes_used == 2  # nobody joined the party
+
+
+@pytest.mark.chaos
+def test_link_slowdown_slows_the_run():
+    plan = FaultPlan(slowdowns=(
+        LinkSlowdown(t0=0.0, t1=float("1e12"), factor=4.0),
+    ))
+    base = run_join(small_config(Algorithm.REPLICATE, initial=2))
+    res = run_join(small_config(Algorithm.REPLICATE, initial=2, faults=plan))
+    assert res.matches == base.matches
+    assert res.times.total_s > base.times.total_s
+
+
+@pytest.mark.chaos
+def test_chaos_runs_are_deterministic():
+    cfg1 = small_config(Algorithm.HYBRID, initial=2, faults=chaos_plan())
+    cfg2 = small_config(Algorithm.HYBRID, initial=2, faults=chaos_plan())
+    r1, r2 = run_join(cfg1), run_join(cfg2)
+    assert r1.matches == r2.matches
+    assert r1.times == r2.times
+    assert (counter_total(r1, "faults_injected")
+            == counter_total(r2, "faults_injected"))
+    assert (counter_total(r1, "retries_total")
+            == counter_total(r2, "retries_total"))
+
+
+@pytest.mark.chaos
+def test_lost_acks_force_suppressed_duplicates():
+    """With only ack loss (payloads always arrive), every retransmission
+    is a duplicate the network suppresses — delivered exactly once."""
+    plan = FaultPlan(seed=5, ack_drop_prob=0.05)
+    base = run_join(small_config(Algorithm.REPLICATE, initial=2))
+    res = run_join(small_config(Algorithm.REPLICATE, initial=2, faults=plan))
+    assert res.matches == base.matches
+    assert counter_total(res, "faults_injected", kind="ack_drop") > 0
+    assert counter_total(res, "net.duplicate_messages") > 0
+    assert counter_total(res, "net.dropped_bytes") == 0
+
+
+# ----------------------------------------------------------------------
+# conservation accounting
+# ----------------------------------------------------------------------
+def test_assert_conserved_balances_drops_and_duplicates():
+    from repro.cluster.network import Network
+    from repro.config import CostModel
+
+    net = Network(Simulator(), CostModel())
+    key = (0, 1, "data")
+    net.sent_bytes[key] = 300
+    net.delivered_bytes[key] = 100
+    net.dropped_bytes[key] = 100
+    net.duplicate_bytes[key] = 100
+    net.assert_conserved()  # balanced: sent == delivered + dropped + dups
+    net.dropped_bytes[key] = 50
+    with pytest.raises(AssertionError, match="conservation"):
+        net.assert_conserved()
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+def cli_args(extra):
+    return extra + [
+        "--r-tuples", "0.004", "--s-tuples", "0.004",
+        "--scale", "1.0", "--chunk-tuples", "200",
+        "--pool", "8", "--sources", "2", "--node-memory-mb", "0.04",
+    ]
+
+
+@pytest.mark.chaos
+def test_cli_run_with_fault_flags(capsys):
+    from repro.cli import main
+
+    rc = main(cli_args(["run", "--algorithm", "hybrid",
+                        "--initial-nodes", "2",
+                        "--drop-prob", "0.02", "--crash-node", "7"]))
+    assert rc == 0
+    assert "phases" in capsys.readouterr().out
+
+
+@pytest.mark.chaos
+def test_cli_metrics_reports_fault_counters(capsys):
+    from repro.cli import main
+
+    rc = main(cli_args(["metrics", "--algorithm", "split",
+                        "--initial-nodes", "2", "--drop-prob", "0.02"]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "faults_injected" in out
+    assert "retries_total" in out
+
+
+def test_cli_fault_plan_file(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "plan.json"
+    path.write_text(FaultPlan(seed=3, drop_prob=0.01).to_json())
+    rc = main(cli_args(["run", "--algorithm", "replicate",
+                        "--initial-nodes", "2", "--fault-plan", str(path)]))
+    assert rc == 0
+
+
+def test_cli_rejects_malformed_fault_plan(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps({"drop_probability": 0.5}))
+    with pytest.raises(SystemExit):
+        main(cli_args(["run", "--fault-plan", str(path)]))
+    assert "unknown fault-plan keys" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_crash_spec(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(cli_args(["run", "--crash-node", "2@whenever"]))
+    assert "crash-node" in capsys.readouterr().err
