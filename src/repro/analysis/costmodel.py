@@ -52,7 +52,7 @@ class OverheadModel:
 
     @classmethod
     def from_run(cls, relation_bytes: int, original_buckets: int,
-                 cost: CostModel) -> "OverheadModel":
+                 cost: CostModel) -> OverheadModel:
         return cls(
             bucket_bytes=relation_bytes / original_buckets,
             t_w=1.0 / cost.net_bandwidth,

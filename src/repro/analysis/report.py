@@ -9,7 +9,7 @@ EXPERIMENTS.md records the numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["FigureReport", "ShapeCheck", "format_table"]
 

@@ -13,7 +13,6 @@ oracle unless constructed with ``validate=False``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..analysis import FigureReport, OverheadModel, load_balance
 from ..config import (
@@ -59,7 +58,7 @@ class FigureHarness:
     INITIAL_NODES = (1, 2, 4, 8, 16)
     TABLE_SIZES_M = (10, 20, 40, 80)
     TUPLE_BYTES = (100, 200, 400)
-    SKEWS: tuple[Optional[float], ...] = (None, 0.001, 0.0001)
+    SKEWS: tuple[float | None, ...] = (None, 0.001, 0.0001)
 
     def __init__(self, scale: float = DEFAULT_SCALE, validate: bool = True):
         self.scale = scale
@@ -77,7 +76,7 @@ class FigureHarness:
         r_m: int = 10,
         s_m: int = 10,
         tuple_bytes: int = 100,
-        sigma: Optional[float] = None,
+        sigma: float | None = None,
         pool: int = 24,
     ) -> JoinRunResult:
         key = (algo, initial_nodes, r_m, s_m, tuple_bytes, sigma, pool)
@@ -483,7 +482,7 @@ class FigureHarness:
     # ------------------------------------------------------------------
     # Figures 10-13: skew sweep (4 initial nodes, R=S=10M)
     # ------------------------------------------------------------------
-    def _skew_sweep(self) -> dict[tuple[Algorithm, Optional[float]], JoinRunResult]:
+    def _skew_sweep(self) -> dict[tuple[Algorithm, float | None], JoinRunResult]:
         return {
             (a, s): self.run(a, 4, sigma=s)
             for a in ALGORITHMS
@@ -491,7 +490,7 @@ class FigureHarness:
         }
 
     @staticmethod
-    def _skew_label(sigma: Optional[float]) -> str:
+    def _skew_label(sigma: float | None) -> str:
         return "uniform" if sigma is None else f"sigma = {sigma}"
 
     def fig10(self) -> FigureReport:
@@ -575,7 +574,7 @@ class FigureHarness:
     def fig13(self) -> FigureReport:
         return self._load_figure(0.0001, "Figure 13")
 
-    def _load_figure(self, sigma: Optional[float], figure: str) -> FigureReport:
+    def _load_figure(self, sigma: float | None, figure: str) -> FigureReport:
         res = self._skew_sweep()
         rep = FigureReport(
             figure,

@@ -1,0 +1,35 @@
+"""Repo-specific static analysis (``python -m repro lint``).
+
+AST-based passes that machine-check the invariants the reproduction's
+determinism and protocol claims rest on.  See ``docs/STATIC_ANALYSIS.md``
+for the rule catalogue, suppression syntax and extension guide.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    Checker,
+    FileChecker,
+    LintError,
+    Project,
+    SourceFile,
+    Violation,
+    all_checkers,
+    register,
+    run_lint,
+)
+from .reporting import report_json, report_text
+
+__all__ = [
+    "Checker",
+    "FileChecker",
+    "LintError",
+    "Project",
+    "SourceFile",
+    "Violation",
+    "all_checkers",
+    "register",
+    "run_lint",
+    "report_json",
+    "report_text",
+]

@@ -1,0 +1,64 @@
+"""Small AST helpers shared by the concrete passes."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "dotted_name", "call_name", "first_str_arg"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Maps local names to the canonical module path they were bound from.
+
+    ``import numpy as np`` -> ``np`` resolves to ``numpy``;
+    ``from datetime import datetime as dt`` -> ``dt`` resolves to
+    ``datetime.datetime``.  :meth:`resolve` canonicalizes a dotted local
+    name by substituting its first segment.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self._alias: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    self._alias[(a.asname or a.name).split(".")[0]] = (
+                        a.name if a.asname else a.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for a in node.names:
+                    if a.name == "*":
+                        continue
+                    self._alias[a.asname or a.name] = f"{node.module}.{a.name}"
+
+    def resolve(self, local_dotted: str) -> str:
+        head, _, rest = local_dotted.partition(".")
+        canonical = self._alias.get(head, head)
+        return f"{canonical}.{rest}" if rest else canonical
+
+
+def call_name(node: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical dotted path of a call target, via the import map."""
+    local = dotted_name(node.func)
+    if local is None:
+        return None
+    return imports.resolve(local)
+
+
+def first_str_arg(node: ast.Call) -> str | None:
+    """The first positional argument if it is a plain string literal."""
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None

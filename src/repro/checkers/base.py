@@ -1,0 +1,238 @@
+"""Checker framework: source model, suppression, registration, runner.
+
+The framework parses every Python file under the linted tree once, wraps
+it in a :class:`SourceFile` (AST + per-line suppressions), and hands the
+whole :class:`Project` to each registered checker.  Checkers come in two
+shapes:
+
+* a :class:`Checker` subclass overriding :meth:`Checker.check` — gets the
+  full project, for cross-file invariants (protocol exhaustiveness,
+  metrics-catalogue sync);
+* a :class:`FileChecker` subclass overriding
+  :meth:`FileChecker.check_file` — called once per in-scope file, for
+  local passes (determinism, fault safety).
+
+Suppression: a violation on line N is dropped when line N (or the
+enclosing statement's first line) carries a comment of the form::
+
+    # repro: allow[rule-id]
+    # repro: allow[rule-a, rule-b]
+
+matching the violation's rule id.  Suppressions are deliberately
+per-line and per-rule — there is no file-wide or blanket escape hatch,
+so every exception stays visible at the exact site it covers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Violation",
+    "SourceFile",
+    "Project",
+    "Checker",
+    "FileChecker",
+    "register",
+    "all_checkers",
+    "run_lint",
+    "LintError",
+]
+
+#: comment syntax recognized as an inline suppression
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+class LintError(Exception):
+    """A problem with the lint invocation itself (bad path, unparsable
+    tree root) — distinct from violations found in linted code."""
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: rule id, location, and a human-readable message."""
+
+    path: str          # repo-relative, '/'-separated
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed Python source file plus its suppression table."""
+
+    def __init__(self, root: Path, path: Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {self.rel}: {exc}") from exc
+        #: line -> set of rule ids allowed on that line
+        self.suppressions: dict[int, set[str]] = _collect_suppressions(self.text)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        allowed = self.suppressions.get(line)
+        return allowed is not None and rule in allowed
+
+    def violation(self, node: ast.AST | int, rule: str, message: str) -> Violation:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Violation(path=self.rel, line=line, rule=rule, message=message)
+
+
+def _collect_suppressions(text: str) -> dict[int, set[str]]:
+    """Extract ``# repro: allow[...]`` comments via the tokenizer (so the
+    marker is never matched inside a string literal)."""
+    table: dict[int, set[str]] = {}
+    lines = iter(text.splitlines(keepends=True))
+    try:
+        for tok in tokenize.generate_tokens(lambda: next(lines, "")):
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _ALLOW_RE.search(tok.string)
+            if m is None:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            table.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:  # trailing continuation etc. — AST parsed, so
+        pass                     # whatever we collected up to here is complete
+    return table
+
+
+class Project:
+    """The linted tree: every parsed source file plus the docs directory."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]):
+        self.root = root
+        self.files = list(files)
+        self._by_rel = {f.rel: f for f in self.files}
+
+    def get(self, rel: str) -> SourceFile | None:
+        return self._by_rel.get(rel)
+
+    def in_dir(self, *rel_dirs: str) -> list[SourceFile]:
+        """Files whose repo-relative path starts with any given directory."""
+        prefixes = tuple(d.rstrip("/") + "/" for d in rel_dirs)
+        return [f for f in self.files if f.rel.startswith(prefixes)]
+
+    def doc(self, rel: str) -> str | None:
+        """Read a non-Python file (e.g. a docs page); None when absent."""
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+class Checker(ABC):
+    """A project-wide pass; yields violations (pre-suppression)."""
+
+    #: short kebab-case pass name (shown in ``lint --list``)
+    name: str = ""
+    #: rule ids this pass can emit, for documentation and --select
+    rules: tuple[str, ...] = ()
+
+    @abstractmethod
+    def check(self, project: Project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+class FileChecker(Checker):
+    """A per-file pass over a scoped subset of the tree."""
+
+    #: repo-relative directories this pass applies to (empty = whole tree)
+    scope: tuple[str, ...] = ()
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        files = project.in_dir(*self.scope) if self.scope else project.files
+        for f in files:
+            yield from self.check_file(f)
+
+    @abstractmethod
+    def check_file(self, source: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+_REGISTRY: list[type[Checker]] = []
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the default pass list."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} needs a name")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_checkers() -> list[type[Checker]]:
+    return list(_REGISTRY)
+
+
+def _discover(root: Path, paths: Iterable[str] | None) -> list[Path]:
+    """Python files to lint, in sorted (deterministic) order."""
+    if paths:
+        out: list[Path] = []
+        for p in paths:
+            path = (root / p) if not Path(p).is_absolute() else Path(p)
+            if path.is_dir():
+                out.extend(sorted(path.rglob("*.py")))
+            elif path.is_file():
+                out.append(path)
+            else:
+                raise LintError(f"no such file or directory: {p}")
+        return out
+    src = root / "src" / "repro"
+    if not src.is_dir():
+        raise LintError(
+            f"{root} does not look like the repro repo (no src/repro); "
+            "pass explicit paths or run from the repo root"
+        )
+    return sorted(src.rglob("*.py"))
+
+
+def run_lint(
+    root: Path,
+    paths: Iterable[str] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Run every registered checker; returns surviving violations sorted
+    by (path, line, rule).  ``select`` restricts to pass names or rule-id
+    prefixes (e.g. ``determinism`` or ``det-``)."""
+    # Imported here so registration happens on first use, not import of base.
+    from . import passes  # noqa: F401  (registration side effect)
+
+    root = root.resolve()
+    files = [SourceFile(root, p) for p in _discover(root, paths)]
+    project = Project(root, files)
+    wanted = {s.rstrip("-") for s in select} if select else None
+    out: list[Violation] = []
+    for cls in all_checkers():
+        if wanted is not None:
+            names = {cls.name, *(r.split("-")[0] for r in cls.rules)}
+            if not (wanted & names) and not any(
+                r.startswith(tuple(wanted)) for r in cls.rules
+            ):
+                continue
+        for v in cls().check(project):
+            source = project.get(v.path)
+            if source is not None and source.suppressed(v.line, v.rule):
+                continue
+            out.append(v)
+    return sorted(out)

@@ -1,0 +1,74 @@
+"""Fault-safety pass: exception handling on recovery paths.
+
+PR 2's recovery machinery distinguishes *maskable* faults (retried,
+degraded, spilled) from *unmaskable* ones, which must surface as
+``UnrecoverableFaultError``.  Two rules keep handlers honest:
+
+* ``fault-bare-except`` — a bare ``except:`` catches ``SystemExit``,
+  ``KeyboardInterrupt`` and the simulator's own interrupt plumbing;
+  name the exception type instead.
+* ``fault-swallowed`` — a handler catching ``Exception``,
+  ``BaseException`` or ``UnrecoverableFaultError`` whose body never
+  ``raise``\\ s swallows exactly the class of failures the fault model
+  promises to surface.  Re-raise, or narrow the handler to the specific
+  exception being masked.
+
+Narrow handlers (``except ValueError: pass`` around a best-effort
+cleanup) are fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ._astutil import dotted_name
+from .base import FileChecker, SourceFile, Violation, register
+
+__all__ = ["FaultSafetyChecker"]
+
+_BROAD = frozenset({"Exception", "BaseException", "UnrecoverableFaultError"})
+
+
+def _handler_types(handler: ast.ExceptHandler) -> set[str]:
+    """Leaf type names caught by a handler (``a.b.C`` -> ``C``)."""
+    node = handler.type
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    out: set[str] = set()
+    for e in elts:
+        name = dotted_name(e) if e is not None else None
+        if name is not None:
+            out.add(name.rsplit(".", 1)[-1])
+    return out
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+@register
+class FaultSafetyChecker(FileChecker):
+    """No bare excepts; broad/unrecoverable catches must re-raise."""
+
+    name = "faultsafety"
+    rules = ("fault-bare-except", "fault-swallowed")
+
+    def check_file(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield source.violation(
+                    node, "fault-bare-except",
+                    "bare except catches SystemExit/KeyboardInterrupt and "
+                    "simulator interrupts; name the exception type",
+                )
+                continue
+            broad = _handler_types(node) & _BROAD
+            if broad and not _reraises(node):
+                caught = ", ".join(sorted(broad))
+                yield source.violation(
+                    node, "fault-swallowed",
+                    f"handler catches {caught} without re-raising — "
+                    "unmaskable faults must surface, not be swallowed",
+                )

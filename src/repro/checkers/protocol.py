@@ -1,0 +1,161 @@
+"""Protocol exhaustiveness pass: messages, dispatch arms and send sites.
+
+The runtime's wire protocol is the set of public dataclasses in
+``repro/core/messages.py``; dispatch is isinstance-chain based (and, in
+future code, possibly ``match``/``case``).  Three rules keep the two
+sides from drifting:
+
+* ``proto-unhandled`` — every concrete public message dataclass must be
+  referenced in at least one dispatch arm (``isinstance(msg, Cls)`` or a
+  ``case Cls(...)`` pattern) somewhere in ``repro/core`` outside
+  ``messages.py``.  A message nobody can receive is dead protocol — or,
+  worse, a deadlock waiting for the sender's timeout.
+* ``proto-unregistered-send`` — every payload handed to a transport send
+  (``ctx.send``/``Network.send``/``Scheduler.send_to_join``) must be a
+  registered message class.  Ad-hoc payloads bypass ``nbytes``/``kind``
+  accounting and break the byte-conservation checks.
+* ``proto-missing-export`` — every public message dataclass must appear
+  in the module's ``__all__`` so star-importing strategy code sees the
+  full protocol.
+
+Payload classification is name-based: a send payload that is a direct
+constructor call (``send(src, dst, SpillOrder(...))``) or a local name
+assigned from one (``msg = DataChunk(...); send(..., msg)``) is checked;
+payloads that flow in as parameters are invisible to this pass — the
+runtime mirror test in ``tests/`` covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .base import Checker, Project, SourceFile, Violation, register
+
+__all__ = ["ProtocolChecker"]
+
+_MESSAGES_REL = "src/repro/core/messages.py"
+
+#: transport entry points whose final positional argument is the payload
+_SEND_ATTRS = frozenset({"send", "send_to_join"})
+
+
+def _message_classes(source: SourceFile) -> tuple[list[ast.ClassDef], set[str]]:
+    """Concrete public dataclasses in messages.py, plus its ``__all__``."""
+    classes: list[ast.ClassDef] = []
+    exported: set[str] = set()
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                if isinstance(target, ast.Name) and target.id == "dataclass":
+                    classes.append(node)
+                    break
+                if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+                    classes.append(node)
+                    break
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name) and t.id == "__all__" \
+                        and isinstance(node.value, (ast.List, ast.Tuple)):
+                    exported = {
+                        e.value for e in node.value.elts
+                        if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    }
+    return classes, exported
+
+
+def _dispatch_refs(source: SourceFile) -> set[str]:
+    """Class names referenced in dispatch position in one file."""
+    refs: set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "isinstance" and len(node.args) == 2:
+            second = node.args[1]
+            elts = second.elts if isinstance(second, ast.Tuple) else [second]
+            for e in elts:
+                if isinstance(e, ast.Name):
+                    refs.add(e.id)
+                elif isinstance(e, ast.Attribute):
+                    refs.add(e.attr)
+        elif isinstance(node, ast.match_case) \
+                and isinstance(node.pattern, ast.MatchClass):
+            cls = node.pattern.cls
+            if isinstance(cls, ast.Name):
+                refs.add(cls.id)
+            elif isinstance(cls, ast.Attribute):
+                refs.add(cls.attr)
+    return refs
+
+
+def _constructor_bindings(tree: ast.AST) -> dict[str, set[str]]:
+    """name -> capitalized class names it is assigned from (file-wide)."""
+    out: dict[str, set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call) \
+                and isinstance(node.value.func, ast.Name) \
+                and node.value.func.id[:1].isupper():
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    out.setdefault(t.id, set()).add(node.value.func.id)
+    return out
+
+
+@register
+class ProtocolChecker(Checker):
+    """messages.py, its dispatch arms, and transport payloads stay in sync."""
+
+    name = "protocol"
+    rules = ("proto-unhandled", "proto-unregistered-send",
+             "proto-missing-export")
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        messages = project.get(_MESSAGES_REL)
+        if messages is None:
+            # Linting a subtree that does not include the protocol module.
+            return
+        classes, exported = _message_classes(messages)
+        names = {c.name for c in classes}
+
+        refs: set[str] = set()
+        for f in project.in_dir("src/repro/core"):
+            if f.rel != _MESSAGES_REL:
+                refs |= _dispatch_refs(f)
+
+        for cls in classes:
+            if cls.name not in refs:
+                yield messages.violation(
+                    cls, "proto-unhandled",
+                    f"message {cls.name} has no dispatch arm anywhere in "
+                    "repro/core — receivers would drop or deadlock on it",
+                )
+            if cls.name not in exported:
+                yield messages.violation(
+                    cls, "proto-missing-export",
+                    f"message {cls.name} is missing from __all__",
+                )
+
+        for f in project.in_dir("src/repro/core", "src/repro/cluster"):
+            if f.rel == _MESSAGES_REL:
+                continue
+            bindings = _constructor_bindings(f.tree)
+            for node in ast.walk(f.tree):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _SEND_ATTRS
+                        and node.args):
+                    continue
+                payload = node.args[-1]
+                candidates: set[str] = set()
+                if isinstance(payload, ast.Call) \
+                        and isinstance(payload.func, ast.Name) \
+                        and payload.func.id[:1].isupper():
+                    candidates = {payload.func.id}
+                elif isinstance(payload, ast.Name):
+                    candidates = bindings.get(payload.id, set())
+                for cand in sorted(candidates - names):
+                    yield f.violation(
+                        node, "proto-unregistered-send",
+                        f"send payload {cand} is not a registered message "
+                        "class in core/messages.py",
+                    )

@@ -1,0 +1,34 @@
+"""Violation reporters: line-per-finding text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import TextIO
+
+from .base import Violation
+
+__all__ = ["report_text", "report_json"]
+
+
+def report_text(violations: Sequence[Violation], out: TextIO) -> None:
+    """``path:line: rule message`` per finding, plus a summary line."""
+    for v in violations:
+        out.write(v.format() + "\n")
+    n = len(violations)
+    if n:
+        rules = sorted({v.rule for v in violations})
+        out.write(f"found {n} violation{'s' if n != 1 else ''} "
+                  f"({', '.join(rules)})\n")
+    else:
+        out.write("clean: no violations\n")
+
+
+def report_json(violations: Sequence[Violation], out: TextIO) -> None:
+    """Stable JSON document: ``{"violations": [...], "count": N}``."""
+    doc = {
+        "count": len(violations),
+        "violations": [v.as_dict() for v in violations],
+    }
+    json.dump(doc, out, indent=2, sort_keys=True)
+    out.write("\n")

@@ -1,6 +1,6 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Five commands:
+Six commands:
 
 * ``run``     — one simulated join, printing the phase/traffic summary.
 * ``sweep``   — a grid of runs (algorithms x initial nodes), as a table.
@@ -9,6 +9,9 @@ Five commands:
 * ``trace``   — run one join and export its execution trace (Chrome
   ``trace_event`` JSON for chrome://tracing / Perfetto, or JSONL).
 * ``metrics`` — run one join and dump the metrics registry snapshot.
+* ``lint``    — run the repo's own static-analysis passes (determinism,
+  protocol exhaustiveness, metrics-catalogue sync, fault safety); see
+  ``docs/STATIC_ANALYSIS.md``.
 
 Examples::
 
@@ -18,6 +21,8 @@ Examples::
     python -m repro figures --only fig02 fig10 --out reports.md
     python -m repro trace --algorithm hybrid --format chrome --out trace.json
     python -m repro metrics --algorithm split --format table
+    python -m repro lint
+    python -m repro lint --format json src/repro/core
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from .analysis import format_table
 from .config import (
@@ -95,7 +100,7 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
                         "(build/reshuffle/probe/ooc); repeatable")
 
 
-def _faults(args: argparse.Namespace) -> Optional[FaultPlan]:
+def _faults(args: argparse.Namespace) -> FaultPlan | None:
     """Fold --fault-plan / --drop-prob / --crash-node into one plan.
 
     Returns ``None`` when no fault flag was given, which keeps the run on
@@ -310,6 +315,37 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .checkers import (
+        LintError,
+        all_checkers,
+        report_json,
+        report_text,
+        run_lint,
+    )
+
+    if args.list:
+        # Force registration so the listing matches what a run would do.
+        from .checkers import passes  # noqa: F401
+        for cls in all_checkers():
+            print(f"{cls.name}: {', '.join(cls.rules)}")
+        return 0
+    root = Path(args.root) if args.root else Path.cwd()
+    try:
+        violations = run_lint(root, paths=args.paths or None,
+                              select=args.select)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        report_json(violations, sys.stdout)
+    else:
+        report_text(violations, sys.stdout)
+    return 1 if violations else 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -390,10 +426,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--no-validate", action="store_true")
     p_fig.set_defaults(func=cmd_figures)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis passes (determinism, "
+             "protocol, metrics sync, fault safety)",
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint (default: src/repro "
+                             "under --root)")
+    p_lint.add_argument("--root", default=None,
+                        help="repo root for repo-relative scoping "
+                             "(default: current directory)")
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    p_lint.add_argument("--select", nargs="*", metavar="RULE",
+                        help="restrict to pass names or rule-id prefixes, "
+                             "e.g. determinism or det-")
+    p_lint.add_argument("--list", action="store_true",
+                        help="list registered passes and their rule ids")
+    p_lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "zipf", None) is not None:

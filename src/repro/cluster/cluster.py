@@ -9,7 +9,7 @@ join nodes of which ``initial_nodes`` are working at start and the rest are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from ..config import ClusterSpec
 from ..sim import Simulator
@@ -51,9 +51,9 @@ class Cluster:
 
     @classmethod
     def build(
-        cls, sim: Simulator, spec: ClusterSpec, metrics: Optional[Any] = None,
-        faults: Optional[Any] = None,
-    ) -> "Cluster":
+        cls, sim: Simulator, spec: ClusterSpec, metrics: Any | None = None,
+        faults: Any | None = None,
+    ) -> Cluster:
         from ..config import Topology
 
         network = Network(

@@ -7,7 +7,8 @@ requests queue FIFO like a real single-spindle 2004 IDE disk.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from collections.abc import Generator
+from typing import Any
 
 from ..config import CostModel
 from ..sim import Resource, Simulator
@@ -24,7 +25,7 @@ class Disk:
     figures are computed from.
     """
 
-    def __init__(self, sim: Simulator, cost: CostModel, name: str = "disk"):
+    def __init__(self, sim: Simulator, cost: CostModel, name: str = "disk") -> None:
         self.sim = sim
         self.cost = cost
         self.name = name
@@ -34,8 +35,8 @@ class Disk:
         self.ops = 0
         #: optional live metric counters (objects with ``inc(n)``; wired by
         #: the cluster's metrics setup)
-        self.written_counter: Optional[Any] = None
-        self.read_counter: Optional[Any] = None
+        self.written_counter: Any | None = None
+        self.read_counter: Any | None = None
 
     def write(self, nbytes: int) -> Generator[Any, Any, None]:
         """Charge one batched write of ``nbytes`` (yield-from inside a process)."""

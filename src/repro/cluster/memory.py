@@ -7,7 +7,7 @@ is exactly the paper's "memory full" condition that triggers expansion.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["MemoryAccount", "MemoryFullError"]
 
@@ -15,7 +15,7 @@ __all__ = ["MemoryAccount", "MemoryFullError"]
 class MemoryFullError(Exception):
     """Raised by :meth:`MemoryAccount.alloc` when the budget is exceeded."""
 
-    def __init__(self, requested: int, available: int):
+    def __init__(self, requested: int, available: int) -> None:
         super().__init__(
             f"requested {requested} bytes, only {available} available"
         )
@@ -26,7 +26,7 @@ class MemoryFullError(Exception):
 class MemoryAccount:
     """Tracks bytes used against a fixed capacity."""
 
-    def __init__(self, capacity: int, name: str = "memory"):
+    def __init__(self, capacity: int, name: str = "memory") -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
@@ -37,7 +37,7 @@ class MemoryAccount:
         #: optional usage timeline (any object with ``set(time, bytes)``;
         #: wired by the cluster's metrics setup); paired ``clock`` supplies
         #: timestamps since the account itself is simulator-agnostic
-        self.usage_probe: Optional[Any] = None
+        self.usage_probe: Any | None = None
         self.clock: Any = None
 
     def _sample_usage(self) -> None:

@@ -42,7 +42,8 @@ duplicates``.  A message that exhausts ``max_attempts`` raises
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Any, Generator, Optional, Protocol
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any, Protocol
 
 import numpy as np
 
@@ -72,7 +73,7 @@ class Network:
 
     def __init__(self, sim: Simulator, cost: CostModel, jitter_seed: int = 0,
                  shared_hub: bool = False,
-                 faults: Optional["FaultInjector"] = None):
+                 faults: FaultInjector | None = None) -> None:
         self.sim = sim
         self.cost = cost
         #: fault injector (None = perfectly reliable links)

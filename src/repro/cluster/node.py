@@ -9,7 +9,8 @@ hash-table memory budget, and a local disk.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from ..config import CostModel
 from ..sim import Mailbox, Resource, Simulator
@@ -29,7 +30,7 @@ class Node:
         role: str,
         cost: CostModel,
         hash_memory_bytes: int = 0,
-    ):
+    ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.role = role

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from .faults import FaultPlan
 
@@ -154,7 +153,7 @@ class CostModel:
         """Time for one batched sequential disk transfer of ``nbytes``."""
         return self.disk_seek + nbytes / self.disk_bandwidth
 
-    def scaled(self, scale: float) -> "CostModel":
+    def scaled(self, scale: float) -> CostModel:
         """Co-scale fixed per-operation costs with the workload scale.
 
         At scale ``s`` every byte quantity shrinks by ``s`` while operation
@@ -203,7 +202,7 @@ class ClusterSpec:
                 return mem
         return self.hash_memory_bytes
 
-    def scaled(self, scale: float) -> "ClusterSpec":
+    def scaled(self, scale: float) -> ClusterSpec:
         """Scale memory budgets and fixed per-op costs (co-scaling rule)."""
         if scale == 1.0:
             return self
@@ -240,9 +239,9 @@ class WorkloadSpec:
     #: Zipf exponent (extension; ignored unless distribution == ZIPF)
     zipf_s: float = 1.1
     #: per-relation overrides for S (None -> same as R, the paper's setup)
-    s_distribution: Optional[Distribution] = None
-    s_gauss_mean: Optional[float] = None
-    s_gauss_sigma: Optional[float] = None
+    s_distribution: Distribution | None = None
+    s_gauss_mean: float | None = None
+    s_gauss_sigma: float | None = None
     #: tuples per communication chunk (paper: 10,000)
     chunk_tuples: int = 10_000
     scale: float = DEFAULT_SCALE
@@ -319,10 +318,10 @@ class RunConfig:
     trace: bool = True
     #: cap on retained trace records (None = unbounded); with a bound the
     #: tracer keeps the most recent records and counts the dropped ones
-    trace_buffer: Optional[int] = None
+    trace_buffer: int | None = None
     #: seeded fault plan (crashes, message drops, link slowdowns); None
     #: runs the exact fault-free code path (see docs/FAULTS.md)
-    faults: Optional["FaultPlan"] = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.initial_nodes < 1:

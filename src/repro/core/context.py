@@ -8,9 +8,8 @@ helpers so actor code reads like message-passing pseudocode.
 
 from __future__ import annotations
 
-from typing import Any, Generator
-
-from typing import Optional
+from collections.abc import Generator
+from typing import Any
 
 from ..cluster import Cluster, Node
 from ..config import RunConfig
@@ -27,7 +26,7 @@ __all__ = ["RunContext"]
 class RunContext:
     """Everything a scheduler/source/join process needs to participate."""
 
-    def __init__(self, sim: Simulator, cfg: RunConfig):
+    def __init__(self, sim: Simulator, cfg: RunConfig) -> None:
         self.sim = sim
         self.cfg = cfg
         self.metrics = MetricsRegistry(clock=lambda: sim.now)
@@ -35,7 +34,7 @@ class RunContext:
         self.tracer = Tracer(enabled=cfg.trace, maxlen=cfg.trace_buffer)
         #: fault injector (None on the fault-free path — the network then
         #: takes the exact pre-fault code path, byte for byte)
-        self.faults: Optional[FaultInjector] = (
+        self.faults: FaultInjector | None = (
             FaultInjector(cfg.faults, sim, self.metrics, trace=self.trace)
             if cfg.faults is not None and cfg.faults.active
             else None

@@ -15,7 +15,8 @@ probe-side overhead of the replication-based algorithm.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 import numpy as np
 
@@ -37,7 +38,7 @@ __all__ = ["DataSourceProcess"]
 class _Buffers:
     """Per-destination tuple buffers with fixed-size chunk flushing."""
 
-    def __init__(self, chunk_tuples: int):
+    def __init__(self, chunk_tuples: int) -> None:
         self.chunk_tuples = chunk_tuples
         self._parts: dict[int, list[np.ndarray]] = {}
         self._counts: dict[int, int] = {}
@@ -86,7 +87,7 @@ class _Buffers:
 class DataSourceProcess:
     """One data source; drive with ``sim.spawn(proc.run())``."""
 
-    def __init__(self, ctx: RunContext, source_index: int, initial_router: Router):
+    def __init__(self, ctx: RunContext, source_index: int, initial_router: Router) -> None:
         self.ctx = ctx
         self.index = source_index
         self.node = ctx.source_node(source_index)

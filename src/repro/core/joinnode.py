@@ -18,7 +18,8 @@ node's split history and is therefore exact.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 import numpy as np
 
@@ -73,7 +74,7 @@ class SpillStore:
     MAX_RECURSION = 8
 
     def __init__(self, ctx: RunContext, node_index: int, k_parts: int = 8,
-                 hash_range: Optional[HashRange] = None):
+                 hash_range: HashRange | None = None) -> None:
         self.ctx = ctx
         self.node = ctx.join_node(node_index)
         self.k = k_parts
@@ -183,7 +184,7 @@ class JoinProcess:
     DONE = "done"
     CRASHED = "crashed"    # fail-stop fault injected while dormant
 
-    def __init__(self, ctx: RunContext, join_index: int, auto_spill: bool = False):
+    def __init__(self, ctx: RunContext, join_index: int, auto_spill: bool = False) -> None:
         self.ctx = ctx
         self.index = join_index
         self.node = ctx.join_node(join_index)
@@ -196,10 +197,10 @@ class JoinProcess:
         self.store.match_counter = ctx.metrics.counter(
             "hash.matches", node=self.node.name
         )
-        self.spill: Optional[SpillStore] = None
-        self.my_range: Optional[HashRange] = None
-        self.bucket: Optional[int] = None
-        self.successor: Optional[int] = None       # replication forwarding
+        self.spill: SpillStore | None = None
+        self.my_range: HashRange | None = None
+        self.bucket: int | None = None
+        self.successor: int | None = None       # replication forwarding
         #: sequence numbers of data chunks already received — duplicate
         #: suppression for the at-least-once transport (idempotent receipt)
         self._seen_seqs: set[tuple[int, int]] = set()
@@ -226,7 +227,7 @@ class JoinProcess:
         self.output_tuples = 0          # pairs materialized in memory
         self.output_spilled = 0         # pairs spilled to local disk
         self.output_pending = 0         # pairs awaiting a sink/spill order
-        self.output_sink_node: Optional[int] = None
+        self.output_sink_node: int | None = None
         self.output_full_pending = False
         self._output_spill_mode = False  # pool exhausted: disk from now on
         self.emitted_probe = 0
@@ -501,7 +502,7 @@ class JoinProcess:
         self.parked.appendleft(DataChunk("R", values, self._tb, hop=Hop.FORWARD))
         return False
 
-    def _spawn_transfer(self, values: np.ndarray, dest: Optional[int], hop: str) -> None:
+    def _spawn_transfer(self, values: np.ndarray, dest: int | None, hop: str) -> None:
         """Ship ``values`` to another join node asynchronously.
 
         Transfers must not block the main message loop: a relief ack that

@@ -14,7 +14,6 @@ extra work caused by the expansion strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -35,6 +34,7 @@ __all__ = [
     "SplitDone",
     "ReliefPing",
     "ReliefAck",
+    "OutputRedirect",
     "SpillOrder",
     "SourceDone",
     "StatusRequest",
@@ -125,8 +125,8 @@ class ActivateJoin(_Control):
     """
 
     join_index: int
-    hash_range: Optional[HashRange] = None
-    bucket: Optional[int] = None
+    hash_range: HashRange | None = None
+    bucket: int | None = None
     phase: str = "build"
     #: recruited as a probe-phase output sink (footnote 1), not a bucket
     output_sink: bool = False
@@ -196,7 +196,7 @@ class StartProbe(_Control):
     """Phase switch.  ``router`` is the final probe routing (sources);
     join nodes receive it with ``router=None`` as a finalize signal."""
 
-    router: Optional[Router] = None
+    router: Router | None = None
 
     @property
     def nbytes(self) -> int:
@@ -220,7 +220,7 @@ class ReshuffleOrder(_Control):
     its own slice and ships every other slice to its new owner.
     """
 
-    assignments: tuple[tuple[int, Optional[HashRange]], ...]
+    assignments: tuple[tuple[int, HashRange | None], ...]
 
     @property
     def nbytes(self) -> int:

@@ -9,7 +9,8 @@ The scheduler never expands, so ``expand`` is unreachable.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from ..hashing import RangeRouter, Router, partition_positions
 from .messages import ReliefAck

@@ -11,7 +11,8 @@ the strategy's probe-phase cost (handled by ``RangeRouter.partition_probe``).
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from ..hashing import RangeRouter, Router, partition_positions
 from .messages import ActivateJoin, ReliefAck, ReplicateOrder, RouteUpdate

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from ..config import RunConfig
 from ..obs import PhaseTimeline
@@ -83,7 +83,7 @@ class JoinRunResult:
     matches: int
     #: exact equi-join cardinality from the sequential oracle (None if the
     #: driver was asked to skip validation)
-    reference_matches: Optional[int]
+    reference_matches: int | None
     comm: CommStats
     loads: list[NodeLoad]
     #: join nodes used at any point (initial + recruited)
@@ -103,15 +103,15 @@ class JoinRunResult:
     output_spilled_tuples: int = 0
     output_sink_nodes: int = 0
     #: busy-time fractions of every node that did work (sources + joins)
-    utilization: list["NodeUtilization"] = field(default_factory=list)
+    utilization: list[NodeUtilization] = field(default_factory=list)
     #: phase/span timeline (scheduler phases + per-node activity spans);
     #: feed to :func:`repro.obs.chrome_trace` for a Perfetto-loadable file
-    timeline: Optional[PhaseTimeline] = None
+    timeline: PhaseTimeline | None = None
     #: end-of-run metrics snapshot (list of instrument dicts, see
     #: :meth:`repro.obs.MetricsRegistry.snapshot`)
     metrics: list[dict] = field(default_factory=list)
     #: raw event tracer from the run (None when tracing is disabled)
-    tracer: Optional[Any] = None
+    tracer: Any | None = None
 
     # ------------------------------------------------------------------
     @property

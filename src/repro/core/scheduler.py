@@ -23,12 +23,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 import numpy as np
 
 from ..faults import UnrecoverableFaultError
 from ..hashing import RangeRouter, Router, partition_range_by_counts
+from ..sim import Mailbox
 from .context import RunContext
 from .messages import (
     ActivateAck,
@@ -85,7 +87,7 @@ class _StopFlag:
 class SchedulerProcess:
     """Drive with ``sim.spawn(proc.run())``; outcome in ``proc.outcome``."""
 
-    def __init__(self, ctx: RunContext):
+    def __init__(self, ctx: RunContext) -> None:
         self.ctx = ctx
         self.cfg = ctx.cfg
         self.node = ctx.scheduler_node
@@ -141,7 +143,7 @@ class SchedulerProcess:
         self._poll_token = 0
         self._round_reports: dict[int, StatusReport] = {}
         self._round_nodes: tuple[int, ...] = ()
-        self._prev_round: Optional[dict[int, tuple]] = None
+        self._prev_round: dict[int, tuple] | None = None
         self._drained = False
         self._phase = "build"
         self._ticker_flag = _StopFlag()
@@ -153,7 +155,7 @@ class SchedulerProcess:
         self._version += 1
         return self._version
 
-    def _pick_candidate(self) -> Optional[int]:
+    def _pick_candidate(self) -> int | None:
         """Remove and return the potential node with the most available
         memory (paper's selection rule); ties broken by lowest pool index."""
         if not self.potential:
@@ -165,7 +167,7 @@ class SchedulerProcess:
 
     def recruit_node(
         self, make_activate: Callable[[int], ActivateJoin], phase: str = "build"
-    ) -> Generator[Any, Any, Optional[int]]:
+    ) -> Generator[Any, Any, int | None]:
         """Acknowledged recruitment with failure handling.
 
         Picks a candidate from the potential pool, sends it the
@@ -640,7 +642,7 @@ class SchedulerProcess:
 
 
 def _ticker(
-    ctx: RunContext, flag: _StopFlag, interval: float, mailbox
+    ctx: RunContext, flag: _StopFlag, interval: float, mailbox: Mailbox
 ) -> Generator[Any, Any, None]:
     """Drops PollTicks into the scheduler mailbox until stopped.
 

@@ -26,7 +26,8 @@ trade against replication.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator, Optional
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
 
 from ..config import SplitPolicy
 from ..hashing import (
@@ -46,17 +47,20 @@ from .messages import (
 )
 from .strategy import ExpansionStrategy
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import SchedulerProcess
+
 __all__ = ["SplitStrategy"]
 
 
 class SplitStrategy(ExpansionStrategy):
     """Partition the overflowing range/bucket onto the new node."""
 
-    def __init__(self, sched, policy: SplitPolicy):
+    def __init__(self, sched: SchedulerProcess, policy: SplitPolicy) -> None:
         super().__init__(sched)
         self.policy = policy
         #: classic-Litwin directory (LINEAR_MOD only)
-        self.directory: Optional[LinearHashDirectory] = None
+        self.directory: LinearHashDirectory | None = None
         #: round-robin split order over bucket owners (LINEAR_POINTER only)
         self.split_order: deque[int] = deque()
 

@@ -11,7 +11,8 @@ ending with the reporter's :class:`~repro.core.messages.ReliefAck`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Generator
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
 
 from ..config import Algorithm, RunConfig
 from ..hashing import Router
@@ -31,7 +32,7 @@ class ExpansionStrategy(ABC):
     #: OOC join nodes spill to disk instead of reporting memory-full
     auto_spill: bool = False
 
-    def __init__(self, sched: "SchedulerProcess"):
+    def __init__(self, sched: SchedulerProcess) -> None:
         self.sched = sched
 
     @abstractmethod
@@ -64,7 +65,7 @@ class ExpansionStrategy(ABC):
         return (yield from sched.await_relief_ack(reporter))
 
 
-def make_strategy(sched: "SchedulerProcess", cfg: RunConfig) -> ExpansionStrategy:
+def make_strategy(sched: SchedulerProcess, cfg: RunConfig) -> ExpansionStrategy:
     """Strategy factory keyed on the configured algorithm."""
     from .hybrid import HybridStrategy
     from .ooc import OutOfCoreStrategy

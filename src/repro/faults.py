@@ -35,7 +35,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -83,8 +84,8 @@ class CrashSpec:
     """
 
     node: int
-    at_time: Optional[float] = None
-    at_phase: Optional[str] = None
+    at_time: float | None = None
+    at_phase: str | None = None
 
     def __post_init__(self) -> None:
         if self.node < 0:
@@ -112,8 +113,8 @@ class LinkSlowdown:
     t0: float
     t1: float
     factor: float
-    src: Optional[int] = None
-    dst: Optional[int] = None
+    src: int | None = None
+    dst: int | None = None
 
     def __post_init__(self) -> None:
         if self.factor < 1.0:
@@ -151,16 +152,16 @@ class FaultPlan:
     slowdowns: tuple[LinkSlowdown, ...] = ()
     #: base retransmission timeout; ``None`` derives it from the cost
     #: model at run start (4 x (propagation latency + 64 KiB wire time))
-    rto_s: Optional[float] = None
+    rto_s: float | None = None
     rto_backoff: float = 2.0
-    rto_max_s: Optional[float] = None
+    rto_max_s: float | None = None
     max_attempts: int = 50
     #: recruit-ack timeout in simulated seconds, checked at drain-poll-tick
     #: granularity (no extra timer events); ``None`` derives it from the
     #: cost model and chunk size so it always dominates worst-case
     #: receive-port queueing of a healthy recruit
-    recruit_timeout_s: Optional[float] = None
-    recruit_backoff_max_s: Optional[float] = None
+    recruit_timeout_s: float | None = None
+    recruit_backoff_max_s: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "ack_drop_prob"):
@@ -193,7 +194,7 @@ class FaultPlan:
     def active(self) -> bool:
         return self.any_link_faults or bool(self.crashes)
 
-    def with_crashes(self, *specs: CrashSpec) -> "FaultPlan":
+    def with_crashes(self, *specs: CrashSpec) -> FaultPlan:
         return replace(self, crashes=self.crashes + tuple(specs))
 
     # -- JSON ------------------------------------------------------------
@@ -220,7 +221,7 @@ class FaultPlan:
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+    def from_dict(cls, data: dict[str, Any]) -> FaultPlan:
         if not isinstance(data, dict):
             raise FaultPlanError(f"fault plan must be an object, got {type(data).__name__}")
         known = {
@@ -247,7 +248,7 @@ class FaultPlan:
         return json.dumps(self.to_dict(), indent=2)
 
     @classmethod
-    def from_json(cls, text: str) -> "FaultPlan":
+    def from_json(cls, text: str) -> FaultPlan:
         try:
             data = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -255,7 +256,7 @@ class FaultPlan:
         return cls.from_dict(data)
 
     @classmethod
-    def from_file(cls, path: str) -> "FaultPlan":
+    def from_file(cls, path: str) -> FaultPlan:
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_json(fh.read())
 
@@ -275,9 +276,9 @@ class FaultInjector:
     def __init__(
         self,
         plan: FaultPlan,
-        sim: "Simulator",
-        metrics: "MetricsRegistry",
-        trace: Optional[Callable[..., None]] = None,
+        sim: Simulator,
+        metrics: MetricsRegistry,
+        trace: Callable[..., None] | None = None,
     ):
         self.plan = plan
         self.sim = sim
@@ -425,7 +426,9 @@ def crash_specs_from_cli(specs: Iterable[str]) -> tuple[CrashSpec, ...]:
         try:
             node = int(node_part)
         except ValueError:
-            raise FaultPlanError(f"bad --crash-node {raw!r}: node must be an int")
+            raise FaultPlanError(
+                f"bad --crash-node {raw!r}: node must be an int"
+            ) from None
         if not when:
             out.append(CrashSpec(node=node, at_time=0.0))
         elif when.startswith("phase:"):
@@ -436,5 +439,5 @@ def crash_specs_from_cli(specs: Iterable[str]) -> tuple[CrashSpec, ...]:
             except ValueError:
                 raise FaultPlanError(
                     f"bad --crash-node {raw!r}: expected N, N@TIME or N@phase:NAME"
-                )
+                ) from None
     return tuple(out)

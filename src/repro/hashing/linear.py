@@ -37,7 +37,7 @@ class SplitTicket:
 class LinearHashDirectory:
     """Bucket -> node map plus split-pointer state."""
 
-    def __init__(self, n0: int, initial_nodes: list[int]):
+    def __init__(self, n0: int, initial_nodes: list[int]) -> None:
         if n0 != len(initial_nodes):
             raise ValueError("need exactly one initial node per initial bucket")
         if n0 < 1:

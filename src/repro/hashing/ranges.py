@@ -8,7 +8,7 @@ them; reshuffling re-partitions them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 __all__ = ["HashRange", "partition_positions", "ranges_partition_space"]
 
@@ -31,7 +31,7 @@ class HashRange:
     def contains(self, position: int) -> bool:
         return self.lo <= position < self.hi
 
-    def bisect(self) -> tuple["HashRange", "HashRange"]:
+    def bisect(self) -> tuple[HashRange, HashRange]:
         """Split at the midpoint (paper's split-based expansion step).
 
         Raises ``ValueError`` when the range is a single position and
@@ -42,7 +42,7 @@ class HashRange:
         mid = self.lo + self.width // 2
         return HashRange(self.lo, mid), HashRange(mid, self.hi)
 
-    def overlaps(self, other: "HashRange") -> bool:
+    def overlaps(self, other: HashRange) -> bool:
         return self.lo < other.hi and other.lo < self.hi
 
     def __str__(self) -> str:

@@ -87,7 +87,7 @@ class RangeRouter(Router):
         )
 
     @classmethod
-    def initial(cls, ranges: list[HashRange], nodes: list[int], positions: int) -> "RangeRouter":
+    def initial(cls, ranges: list[HashRange], nodes: list[int], positions: int) -> RangeRouter:
         """The paper's initial assignment: range k -> initial node k."""
         if len(ranges) != len(nodes):
             raise ValueError("one node per initial range required")
@@ -134,7 +134,7 @@ class RangeRouter(Router):
         bounds: np.ndarray = self._bounds  # type: ignore[attr-defined]
         return int(np.searchsorted(bounds, position, side="right") - 1)
 
-    def with_replica(self, range_index: int, new_node: int, version: int) -> "RangeRouter":
+    def with_replica(self, range_index: int, new_node: int, version: int) -> RangeRouter:
         """Append a replica to one range's chain (replication expansion)."""
         entries = list(self.entries)
         rng, dests = entries[range_index]
@@ -143,7 +143,7 @@ class RangeRouter(Router):
 
     def with_bisection(
         self, range_index: int, keeper: int, new_node: int, version: int
-    ) -> "RangeRouter":
+    ) -> RangeRouter:
         """Bisect one single-owner range between keeper and new node."""
         entries = list(self.entries)
         rng, dests = entries[range_index]
@@ -176,7 +176,7 @@ class LinearHashRouter(Router):
     """
 
     def __init__(self, n0: int, level: int, split_pointer: int,
-                 bucket_nodes: tuple[int, ...], version: int = 0):
+                 bucket_nodes: tuple[int, ...], version: int = 0) -> None:
         if n0 < 1 or level < 0:
             raise ValueError("invalid linear hash parameters")
         m = n0 << level

@@ -11,7 +11,8 @@ join process (see DESIGN.md §2 on accounted-but-not-materialized bytes).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -54,15 +55,15 @@ def _as_uint64(values: np.ndarray) -> np.ndarray:
 class NodeHashStore:
     """Build-side tuple store for one join node."""
 
-    def __init__(self, posmap: PositionMap):
+    def __init__(self, posmap: PositionMap) -> None:
         self.posmap = posmap
         self._chunks: list[np.ndarray] = []
-        self._sorted: Optional[np.ndarray] = None
+        self._sorted: np.ndarray | None = None
         self._count = 0
         #: optional metric counters (objects with ``inc(n)``; wired by the
         #: owning join process)
-        self.inserted_counter: Optional[Any] = None
-        self.match_counter: Optional[Any] = None
+        self.inserted_counter: Any | None = None
+        self.match_counter: Any | None = None
 
     # ------------------------------------------------------------------
     @property

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
+from typing import Any
 
 from .timeline import SCHEDULER_TRACK, PhaseTimeline
 
@@ -83,7 +84,7 @@ def chrome_trace(result: Any) -> dict[str, Any]:
     build/probe/split/reshuffle/ooc spans — and instant events
     (``ph: "i"``) for every collected trace record.
     """
-    timeline: Optional[PhaseTimeline] = getattr(result, "timeline", None)
+    timeline: PhaseTimeline | None = getattr(result, "timeline", None)
     tracer = getattr(result, "tracer", None)
     if timeline is None:
         timeline = PhaseTimeline()

@@ -11,7 +11,8 @@ free of ``repro`` imports.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from .metrics import MetricsRegistry
 

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Any, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
+from typing import Any
 
 __all__ = ["Counter", "Gauge", "TimeWeightedHistogram", "MetricsRegistry"]
 
@@ -78,9 +79,9 @@ class Gauge:
         self.labels = labels
         #: bounded (time, value) history, oldest evicted first
         self.timeline: deque[tuple[float, float]] = deque(maxlen=max_samples)
-        self.last: Optional[float] = None
-        self.high: Optional[float] = None
-        self.low: Optional[float] = None
+        self.last: float | None = None
+        self.high: float | None = None
+        self.low: float | None = None
         self.samples = 0
 
     def set(self, time: float, value: float) -> None:
@@ -137,7 +138,7 @@ class TimeWeightedHistogram:
             raise ValueError("histogram needs at least one bucket bound")
         #: seconds spent at a level <= bounds[i]; [-1] is the overflow bucket
         self.bucket_seconds = [0.0] * (len(self.bounds) + 1)
-        self._last_t: Optional[float] = None
+        self._last_t: float | None = None
         self._last_v: float = 0.0
         self.high: float = 0.0
         self.weighted_sum = 0.0
@@ -194,7 +195,7 @@ class MetricsRegistry:
     simulation); instruments are memoized by ``(name, labels)``.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(self, clock: Callable[[], float] | None = None):
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
         self._counters: dict[tuple[str, LabelKey], Counter] = {}
         self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
@@ -271,7 +272,7 @@ class MetricsRegistry:
         """One JSON object per instrument, one per line."""
         return "\n".join(json.dumps(d) for d in self.snapshot())
 
-    def find(self, name: str, **labels: Any) -> Optional[Any]:
+    def find(self, name: str, **labels: Any) -> Any | None:
         """Look up an existing instrument without creating it."""
         key = (name, _label_key(labels))
         for table in (self._counters, self._gauges, self._histograms):

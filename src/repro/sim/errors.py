@@ -22,7 +22,7 @@ class Interrupt(SimulationError):
     The ``cause`` attribute carries the value supplied by the interrupter.
     """
 
-    def __init__(self, cause: object = None):
+    def __init__(self, cause: object = None) -> None:
         super().__init__(cause)
         self.cause = cause
 

@@ -15,7 +15,8 @@ identical traces.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
+from typing import Any
 
 from .errors import DeadlockError, SimulationError
 
@@ -46,12 +47,12 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "_scheduled", "_processed")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         #: callables invoked with this event once it is processed
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = PENDING
-        self._exc: Optional[BaseException] = None
+        self._exc: BaseException | None = None
         self._scheduled = False
         self._processed = False
 
@@ -87,7 +88,7 @@ class Event:
     # ------------------------------------------------------------------
     # triggering
     # ------------------------------------------------------------------
-    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+    def succeed(self, value: Any = None, delay: float = 0.0) -> Event:
         """Schedule this event to fire successfully after ``delay``."""
         if self._scheduled:
             raise SimulationError(f"{self!r} already triggered")
@@ -95,7 +96,7 @@ class Event:
         self.sim._schedule(self, delay)
         return self
 
-    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+    def fail(self, exc: BaseException, delay: float = 0.0) -> Event:
         """Schedule this event to fire with an exception after ``delay``."""
         if self._scheduled:
             raise SimulationError(f"{self!r} already triggered")
@@ -106,7 +107,7 @@ class Event:
         self.sim._schedule(self, delay)
         return self
 
-    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+    def add_callback(self, fn: Callable[[Event], None]) -> None:
         """Run ``fn(event)`` when the event is processed.
 
         If the event was already processed the callback runs immediately —
@@ -139,7 +140,7 @@ class Timeout(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
@@ -209,7 +210,7 @@ class Simulator:
         self._processed_events += 1
         event._run_callbacks()
 
-    def run(self, until: Optional[float] = None) -> None:
+    def run(self, until: float | None = None) -> None:
         """Run until the queue drains or simulated time exceeds ``until``.
 
         Raises :class:`DeadlockError` if processes are still alive when the
@@ -243,7 +244,7 @@ class Simulator:
             )
 
     # Convenience used by Process
-    def spawn(self, generator: Iterable, name: str = "") -> "Any":
+    def spawn(self, generator: Iterable, name: str = "") -> Any:
         """Start a generator as a simulation process (see Process)."""
         from .process import Process
 

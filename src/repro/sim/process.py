@@ -10,7 +10,8 @@ the generator's return value, so processes can wait on each other.
 from __future__ import annotations
 
 from types import GeneratorType
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from .errors import Interrupt, SimulationError
 from .kernel import Event, Simulator
@@ -23,7 +24,7 @@ class Process(Event):
 
     __slots__ = ("name", "_generator", "_waiting_on", "_started")
 
-    def __init__(self, sim: Simulator, generator: Iterable, name: str = ""):
+    def __init__(self, sim: Simulator, generator: Iterable, name: str = "") -> None:
         if not isinstance(generator, GeneratorType):
             raise TypeError(
                 f"Process requires a generator, got {type(generator).__name__}"
@@ -31,7 +32,7 @@ class Process(Event):
         super().__init__(sim)
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Event | None = None
         self._started = False
         sim._active_processes += 1
         # Kick off at the current time, but via the queue so that spawning
@@ -74,7 +75,7 @@ class Process(Event):
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _resume(self, event: Optional[Event]) -> None:
+    def _resume(self, event: Event | None) -> None:
         if event is not None and event is not self._waiting_on and self._started:
             # The process was interrupted while waiting on this event and
             # has since moved on; drop the stale wakeup.
@@ -90,7 +91,7 @@ class Process(Event):
         self._waiting_on = None
         self._advance(throw=exc)
 
-    def _advance(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+    def _advance(self, send: Any = None, throw: BaseException | None = None) -> None:
         gen = self._generator
         while True:
             try:
@@ -103,7 +104,9 @@ class Process(Event):
                 self.sim._active_processes -= 1
                 self.succeed(stop.value)
                 return
-            except BaseException as exc:
+            # The trampoline does not swallow: the exception is re-routed
+            # into the event graph via fail() and re-raised at await sites.
+            except BaseException as exc:  # repro: allow[fault-swallowed]
                 self.sim._active_processes -= 1
                 self.fail(_annotate(exc, self.name))
                 self.sim._failed_processes.append(self)
@@ -130,7 +133,8 @@ class Process(Event):
 
 
 def _annotate(exc: BaseException, name: str) -> BaseException:
-    exc.add_note(f"(raised in simulation process {name!r})")
+    if hasattr(exc, "add_note"):  # add_note is 3.11+; 3.10 loses the note
+        exc.add_note(f"(raised in simulation process {name!r})")
     return exc
 
 
@@ -142,7 +146,7 @@ class AllOf(Event):
 
     __slots__ = ("_events", "_remaining")
 
-    def __init__(self, sim: Simulator, events: list[Event]):
+    def __init__(self, sim: Simulator, events: list[Event]) -> None:
         super().__init__(sim)
         self._events = list(events)
         self._remaining = len(self._events)
@@ -168,7 +172,7 @@ class AnyOf(Event):
 
     __slots__ = ("_events",)
 
-    def __init__(self, sim: Simulator, events: list[Event]):
+    def __init__(self, sim: Simulator, events: list[Event]) -> None:
         if not events:
             raise ValueError("AnyOf requires at least one event")
         super().__init__(sim)

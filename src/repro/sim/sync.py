@@ -12,8 +12,10 @@ These cover everything the cluster substrate needs:
 
 from __future__ import annotations
 
+import contextlib
 from collections import deque
-from typing import Any, Deque, Generator, Optional
+from collections.abc import Generator
+from typing import Any
 
 from .errors import SimulationError
 from .kernel import Event, Simulator
@@ -24,16 +26,16 @@ __all__ = ["Mailbox", "Resource", "Barrier", "Latch"]
 class Mailbox:
     """Unbounded FIFO queue of messages with event-based blocking ``get``."""
 
-    def __init__(self, sim: Simulator, name: str = "mailbox"):
+    def __init__(self, sim: Simulator, name: str = "mailbox") -> None:
         self.sim = sim
         self.name = name
-        self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
         #: total messages ever put (diagnostics)
         self.total_put = 0
         #: optional queue-depth instrument (any object with
         #: ``observe(time, depth)``; wired by the cluster's metrics setup)
-        self.depth_probe: Optional[Any] = None
+        self.depth_probe: Any | None = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -69,10 +71,8 @@ class Mailbox:
 
     def cancel_get(self, ev: Event) -> None:
         """Withdraw a pending getter (no-op if it already fired)."""
-        try:
+        with contextlib.suppress(ValueError):
             self._getters.remove(ev)
-        except ValueError:
-            pass
 
     def drain(self) -> list[Any]:
         """Remove and return all currently queued messages (non-blocking)."""
@@ -92,14 +92,14 @@ class Resource:
         yield from nic.use(nbytes / bandwidth)
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.name = name
         self.capacity = capacity
         self._in_use = 0
-        self._waiters: Deque[Event] = deque()
+        self._waiters: deque[Event] = deque()
         #: cumulative busy time integrated over slots (utilization metric)
         self.busy_time = 0.0
 
@@ -138,11 +138,9 @@ class Resource:
         otherwise a later release() would hand the slot to the dead waiter
         and leak it forever.
         """
-        try:
+        with contextlib.suppress(ValueError):
             self._waiters.remove(ev)
             return
-        except ValueError:
-            pass
         if ev.triggered:
             self.release()
 
@@ -173,7 +171,7 @@ class Barrier:
     generation have arrived.
     """
 
-    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier") -> None:
         if parties < 1:
             raise ValueError("parties must be >= 1")
         self.sim = sim
@@ -194,7 +192,7 @@ class Barrier:
 class Latch:
     """Countdown latch: fires its event when the count reaches zero."""
 
-    def __init__(self, sim: Simulator, count: int, name: str = "latch"):
+    def __init__(self, sim: Simulator, count: int, name: str = "latch") -> None:
         if count < 0:
             raise ValueError("count must be >= 0")
         self.sim = sim

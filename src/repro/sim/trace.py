@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Sequence
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 __all__ = ["TraceRecord", "Tracer"]
 
@@ -41,9 +42,9 @@ class Tracer:
     def __init__(
         self,
         enabled: bool = True,
-        categories: Optional[set[str]] = None,
-        maxlen: Optional[int] = None,
-    ):
+        categories: set[str] | None = None,
+        maxlen: int | None = None,
+    ) -> None:
         if maxlen is not None and maxlen < 1:
             raise ValueError(f"maxlen must be positive, got {maxlen}")
         self.enabled = enabled

@@ -1,0 +1,387 @@
+"""Unit tests for the repo's static-analysis framework (repro.checkers).
+
+Each rule gets a fixture pair: a clean snippet that must pass and a
+seeded-violation snippet that must fail with exactly that rule id.  The
+fixtures are written into a synthetic mini-repo tree (``src/repro/...``)
+because checker scoping is repo-relative.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.checkers import LintError, Violation, run_lint
+from repro.checkers.base import SourceFile
+from repro.checkers.metricsync import _catalogue_names
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_repo(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Materialize a mini repo tree; keys are repo-relative paths."""
+    for rel, text in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text, encoding="utf-8")
+    # run_lint requires a src/repro directory to treat the root as a repo.
+    (tmp_path / "src" / "repro").mkdir(parents=True, exist_ok=True)
+    return tmp_path
+
+
+def rules_of(violations: list[Violation]) -> set[str]:
+    return {v.rule for v in violations}
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("snippet,rule", [
+    ("import time\n\ndef f():\n    return time.time()\n",
+     "det-wallclock"),
+    ("from time import perf_counter\n\ndef f():\n    return perf_counter()\n",
+     "det-wallclock"),
+    ("from datetime import datetime\n\ndef f():\n    return datetime.now()\n",
+     "det-wallclock"),
+    ("import random\n\ndef f():\n    return random.random()\n",
+     "det-global-rng"),
+    ("import numpy as np\n\ndef f(a):\n    np.random.shuffle(a)\n",
+     "det-global-rng"),
+    ("import os\n\ndef f():\n    return os.urandom(8)\n",
+     "det-global-rng"),
+    ("def f():\n    s = {1, 2, 3}\n    for x in s:\n        print(x)\n",
+     "det-set-iter"),
+    ("def f(pending: set[int]):\n    return [x for x in pending]\n",
+     "det-set-iter"),
+    ("class C:\n    def __init__(self):\n        self.live = set()\n"
+     "    def f(self):\n        return self.live.pop()\n",
+     "det-set-iter"),
+    ("import os\n\ndef f(p):\n    return os.listdir(p)\n",
+     "det-fs-order"),
+    ("from pathlib import Path\n\ndef f(p: Path):\n"
+     "    return list(p.iterdir())\n",
+     "det-fs-order"),
+])
+def test_determinism_violations(tmp_path, snippet, rule):
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    found = run_lint(root)
+    assert rule in rules_of(found), found
+
+
+@pytest.mark.parametrize("snippet", [
+    # seeded RNG is the sanctioned idiom
+    "import numpy as np\n\ndef f(seed):\n    return np.random.default_rng(seed)\n",
+    # sorted() wrapping sanctions sets and filesystem enumeration
+    "def f():\n    s = {1, 2, 3}\n    return [x for x in sorted(s)]\n",
+    "import os\n\ndef f(p):\n    return sorted(os.listdir(p))\n",
+    # membership tests and len() on sets are order-independent
+    "def f(pending: set[int], x):\n    return x in pending and len(pending)\n",
+    # simulated clocks are fine: the ban is on the *wall* clock
+    "def f(sim):\n    return sim.now\n",
+])
+def test_determinism_clean(tmp_path, snippet):
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+def test_determinism_out_of_scope_dir_is_ignored(tmp_path):
+    # The determinism pass scopes to sim/core/cluster/hashing only.
+    snippet = "import time\n\ndef f():\n    return time.time()\n"
+    root = make_repo(tmp_path, {"src/repro/analysis/mod.py": snippet})
+    assert "det-wallclock" not in rules_of(run_lint(root))
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+def test_suppression_drops_matching_rule(tmp_path):
+    snippet = ("import time\n\ndef f():\n"
+               "    return time.time()  # repro: allow[det-wallclock]\n")
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+def test_suppression_is_per_rule(tmp_path):
+    snippet = ("import time\n\ndef f():\n"
+               "    return time.time()  # repro: allow[det-set-iter]\n")
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    assert "det-wallclock" in rules_of(run_lint(root))
+
+
+def test_suppression_marker_in_string_literal_is_inert(tmp_path):
+    snippet = ('import time\n\ndef f():\n'
+               '    x = "# repro: allow[det-wallclock]"\n'
+               '    return time.time(), x\n')
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    assert "det-wallclock" in rules_of(run_lint(root))
+
+
+def test_suppression_multiple_rules_one_comment(tmp_path):
+    snippet = ("import time, os\n\ndef f(p):\n"
+               "    return time.time(), os.listdir(p)"
+               "  # repro: allow[det-wallclock, det-fs-order]\n")
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# fault safety
+# ----------------------------------------------------------------------
+def test_bare_except_flagged(tmp_path):
+    snippet = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+    root = make_repo(tmp_path, {"src/repro/obs/mod.py": snippet})
+    assert "fault-bare-except" in rules_of(run_lint(root))
+
+
+@pytest.mark.parametrize("exc", ["Exception", "BaseException",
+                                 "UnrecoverableFaultError"])
+def test_swallowed_broad_handler_flagged(tmp_path, exc):
+    snippet = (f"def f():\n    try:\n        g()\n"
+               f"    except {exc}:\n        pass\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert "fault-swallowed" in rules_of(run_lint(root))
+
+
+def test_reraising_broad_handler_clean(tmp_path):
+    snippet = ("def f():\n    try:\n        g()\n"
+               "    except BaseException:\n        cleanup()\n        raise\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+def test_narrow_handler_clean(tmp_path):
+    snippet = ("def f(xs, x):\n    try:\n        xs.remove(x)\n"
+               "    except ValueError:\n        pass\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# protocol exhaustiveness
+# ----------------------------------------------------------------------
+_MINI_MESSAGES = '''\
+from dataclasses import dataclass
+
+__all__ = ["Ping"]
+
+
+@dataclass
+class Ping:
+    node: int
+
+
+@dataclass
+class Orphan:
+    node: int
+'''
+
+_MINI_DISPATCH = '''\
+from .messages import Ping
+
+
+class Handler:
+    def dispatch(self, msg):
+        if isinstance(msg, Ping):
+            return msg.node
+        raise RuntimeError(msg)
+
+    def hello(self, ctx, a, b):
+        yield from ctx.send(a, b, Ping(1))
+'''
+
+
+def test_protocol_unhandled_and_unexported(tmp_path):
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _MINI_MESSAGES,
+        "src/repro/core/handler.py": _MINI_DISPATCH,
+    })
+    found = run_lint(root)
+    assert {"proto-unhandled", "proto-missing-export"} <= rules_of(found)
+    orphan = [v for v in found if v.rule == "proto-unhandled"]
+    assert len(orphan) == 1 and "Orphan" in orphan[0].message
+
+
+def test_protocol_unregistered_send(tmp_path):
+    dispatch = _MINI_DISPATCH + (
+        "\n    def bad(self, ctx, a, b):\n"
+        "        yield from ctx.send(a, b, Rogue())\n"
+    )
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _MINI_MESSAGES,
+        "src/repro/core/handler.py": dispatch,
+    })
+    found = [v for v in run_lint(root) if v.rule == "proto-unregistered-send"]
+    assert len(found) == 1 and "Rogue" in found[0].message
+
+
+def test_protocol_send_via_local_binding(tmp_path):
+    dispatch = _MINI_DISPATCH + (
+        "\n    def bad(self, ctx, a, b):\n"
+        "        msg = Rogue()\n"
+        "        yield from ctx.send(a, b, msg)\n"
+    )
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _MINI_MESSAGES,
+        "src/repro/core/handler.py": dispatch,
+    })
+    assert "proto-unregistered-send" in rules_of(run_lint(root))
+
+
+# ----------------------------------------------------------------------
+# metrics-catalogue sync
+# ----------------------------------------------------------------------
+_MINI_CATALOGUE = """\
+# Observability
+
+## Metric catalogue
+
+| metric | kind |
+|---|---|
+| `app.requests` | counter |
+| `app.errors`, `app.retries` | counter |
+
+## Something else
+
+| `NotAMetric` | ignore me |
+"""
+
+
+def test_catalogue_parser_reads_multiname_rows():
+    names = _catalogue_names(_MINI_CATALOGUE)
+    assert set(names) == {"app.requests", "app.errors", "app.retries"}
+
+
+def test_metrics_uncatalogued(tmp_path):
+    code = ('def f(registry):\n'
+            '    registry.counter("app.unknown").inc(1)\n')
+    root = make_repo(tmp_path, {
+        "src/repro/obs/mod.py": code,
+        "docs/OBSERVABILITY.md": _MINI_CATALOGUE,
+    })
+    found = [v for v in run_lint(root) if v.rule == "metrics-uncatalogued"]
+    assert len(found) == 1 and "app.unknown" in found[0].message
+
+
+def test_metrics_stale_catalogue(tmp_path):
+    code = ('def f(registry):\n'
+            '    registry.counter("app.requests").inc(1)\n'
+            '    registry.counter("app.errors").inc(1)\n'
+            '    registry.counter("app.retries").inc(1)\n')
+    root = make_repo(tmp_path, {"src/repro/obs/mod.py": code,
+                                "docs/OBSERVABILITY.md": _MINI_CATALOGUE})
+    assert run_lint(root) == []
+    # drop one publisher -> its catalogue row goes stale
+    (root / "src/repro/obs/mod.py").write_text(
+        'def f(registry):\n'
+        '    registry.counter("app.requests").inc(1)\n'
+        '    registry.counter("app.errors").inc(1)\n')
+    found = [v for v in run_lint(root) if v.rule == "metrics-stale-catalogue"]
+    assert len(found) == 1 and "app.retries" in found[0].message
+    assert found[0].path == "docs/OBSERVABILITY.md"
+
+
+def test_instrument_level_calls_not_confused_with_registry(tmp_path):
+    # counter.inc(5) / hist.observe(t, v) carry no metric-name literal.
+    code = ('def f(counter, hist, t):\n'
+            '    counter.inc(5)\n'
+            '    hist.observe(t, 3)\n')
+    root = make_repo(tmp_path, {"src/repro/obs/mod.py": code,
+                                "docs/OBSERVABILITY.md":
+                                    "# x\n\n## Metric catalogue\n"})
+    assert run_lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# framework behavior
+# ----------------------------------------------------------------------
+def test_violations_sorted_and_formatted(tmp_path):
+    root = make_repo(tmp_path, {
+        "src/repro/sim/b.py": "import time\n\ndef f():\n    return time.time()\n",
+        "src/repro/sim/a.py": "import os\n\ndef f(p):\n    return os.listdir(p)\n",
+    })
+    found = run_lint(root)
+    assert [v.path for v in found] == ["src/repro/sim/a.py", "src/repro/sim/b.py"]
+    assert found[0].format().startswith("src/repro/sim/a.py:4: det-fs-order ")
+
+
+def test_select_filters_passes(tmp_path):
+    root = make_repo(tmp_path, {
+        "src/repro/sim/mod.py":
+            "import time\n\ndef f():\n    try:\n        return time.time()\n"
+            "    except:\n        pass\n",
+    })
+    assert rules_of(run_lint(root)) == {"det-wallclock", "fault-bare-except"}
+    assert rules_of(run_lint(root, select=["det-"])) == {"det-wallclock"}
+    assert rules_of(run_lint(root, select=["faultsafety"])) == {"fault-bare-except"}
+
+
+def test_syntax_error_raises_lint_error(tmp_path):
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": "def f(:\n"})
+    with pytest.raises(LintError, match="cannot parse"):
+        run_lint(root)
+
+
+def test_bad_path_raises_lint_error(tmp_path):
+    root = make_repo(tmp_path, {})
+    with pytest.raises(LintError, match="no such file"):
+        run_lint(root, paths=["does/not/exist.py"])
+
+
+def test_sourcefile_records_suppression_lines(tmp_path):
+    p = tmp_path / "m.py"
+    p.write_text("x = 1  # repro: allow[rule-a,rule-b]\ny = 2\n")
+    sf = SourceFile(tmp_path, p)
+    assert sf.suppressed(1, "rule-a") and sf.suppressed(1, "rule-b")
+    assert not sf.suppressed(2, "rule-a")
+
+
+# ----------------------------------------------------------------------
+# self-hosting + CLI
+# ----------------------------------------------------------------------
+def test_repo_tree_is_lint_clean():
+    assert run_lint(REPO_ROOT) == []
+
+
+def test_cli_lint_clean_exit_zero(capsys):
+    rc = main(["lint", "--root", str(REPO_ROOT)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "clean" in out
+
+
+def test_cli_lint_violations_exit_one(tmp_path, capsys):
+    make_repo(tmp_path, {
+        "src/repro/sim/mod.py": "import time\n\ndef f():\n    return time.time()\n",
+    })
+    rc = main(["lint", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "src/repro/sim/mod.py:4: det-wallclock" in out
+
+
+def test_cli_lint_json_format(tmp_path, capsys):
+    import json
+
+    make_repo(tmp_path, {
+        "src/repro/sim/mod.py": "import time\n\ndef f():\n    return time.time()\n",
+    })
+    rc = main(["lint", "--root", str(tmp_path), "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1 and doc["count"] == 1
+    assert doc["violations"][0]["rule"] == "det-wallclock"
+    assert doc["violations"][0]["line"] == 4
+
+
+def test_cli_lint_bad_path_exit_two(capsys):
+    rc = main(["lint", "--root", str(REPO_ROOT), "no/such/dir"])
+    err = capsys.readouterr().err
+    assert rc == 2 and "no such file" in err
+
+
+def test_cli_lint_list_passes(capsys):
+    rc = main(["lint", "--list"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for pass_name in ("determinism", "protocol", "metrics", "faultsafety"):
+        assert pass_name in out
