@@ -1,6 +1,17 @@
 """Benchmark harness: figure-reproduction runners shared by benchmarks/,
-examples/ and the EXPERIMENTS.md generator."""
+examples/ and the EXPERIMENTS.md generator, plus the ``bench-diff``
+baseline regression gate (:mod:`repro.bench.diff`)."""
 
+from .diff import BaselineError, BenchDiff, Delta, diff_baselines, load_baseline
 from .figures import ALGORITHMS, EHJAS, FigureHarness
 
-__all__ = ["ALGORITHMS", "EHJAS", "FigureHarness"]
+__all__ = [
+    "ALGORITHMS",
+    "BaselineError",
+    "BenchDiff",
+    "Delta",
+    "EHJAS",
+    "FigureHarness",
+    "diff_baselines",
+    "load_baseline",
+]

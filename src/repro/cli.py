@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Six commands:
+Eight commands:
 
 * ``run``     — one simulated join, printing the phase/traffic summary.
 * ``sweep``   — a grid of runs (algorithms x initial nodes), as a table.
@@ -9,6 +9,10 @@ Six commands:
 * ``trace``   — run one join and export its execution trace (Chrome
   ``trace_event`` JSON for chrome://tracing / Perfetto, or JSONL).
 * ``metrics`` — run one join and dump the metrics registry snapshot.
+* ``explain`` — run one join and print the causal critical-path /
+  bottleneck report (see ``docs/OBSERVABILITY.md``).
+* ``bench-diff`` — compare two ``BENCH_*.json`` baselines; nonzero exit
+  on regressions beyond the threshold (the CI perf gate).
 * ``lint``    — run the repo's own static-analysis passes (determinism,
   protocol exhaustiveness, metrics-catalogue sync, fault safety); see
   ``docs/STATIC_ANALYSIS.md``.
@@ -21,6 +25,8 @@ Examples::
     python -m repro figures --only fig02 fig10 --out reports.md
     python -m repro trace --algorithm hybrid --format chrome --out trace.json
     python -m repro metrics --algorithm split --format table
+    python -m repro explain --algorithm replicate --sigma 0.05
+    python -m repro bench-diff BENCH_2.json BENCH_new.json --threshold 2
     python -m repro lint
     python -m repro lint --format json src/repro/core
 """
@@ -311,8 +317,52 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             value = (f"mean={inst['time_weighted_mean']:.3f} "
                      f"high={inst['high']:g}")
         rows.append([inst["name"], labels, inst["type"], value])
-    print(format_table(["metric", "labels", "type", "value"], rows))
+    table = format_table(["metric", "labels", "type", "value"], rows)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.out} ({len(rows)} active instruments)")
+    else:
+        print(table)
     return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .obs import explain
+
+    algorithm = Algorithm(args.algorithm)
+    initial = int(args.initial_nodes.split(",")[0])
+    cfg = _config(args, algorithm, initial)
+    res = run_join(cfg, validate=not args.no_validate)
+    report = explain(res)
+    if args.format == "json":
+        payload = json.dumps(report.to_dict(), indent=1) + "\n"
+    else:
+        payload = report.to_text() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"wrote {args.out} ({args.format})")
+    else:
+        print(payload, end="")
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .bench import BaselineError, diff_baselines, load_baseline
+
+    try:
+        old = load_baseline(args.old)
+        new = load_baseline(args.new)
+        diff = diff_baselines(old, new, threshold_pct=args.threshold)
+    except (BaselineError, ValueError) as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(diff.to_dict(), indent=1))
+    else:
+        print(diff.to_text())
+    return 0 if diff.ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -403,8 +453,33 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=[a.value for a in Algorithm])
     p_metrics.add_argument("--format", default="table",
                            choices=["table", "jsonl"])
-    p_metrics.add_argument("--out", help="write JSONL here instead of stdout")
+    p_metrics.add_argument("--out",
+                           help="write here instead of stdout (either format)")
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_explain = sub.add_parser(
+        "explain", parents=[common],
+        help="run one join and print the critical-path bottleneck report",
+    )
+    p_explain.add_argument("--algorithm", default="hybrid",
+                           choices=[a.value for a in Algorithm])
+    p_explain.add_argument("--format", default="text",
+                           choices=["text", "json"])
+    p_explain.add_argument("--out", help="write here instead of stdout")
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_bdiff = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json baselines; exit 1 on regressions",
+    )
+    p_bdiff.add_argument("old", help="baseline JSON (the reference)")
+    p_bdiff.add_argument("new", help="candidate JSON to compare against it")
+    p_bdiff.add_argument("--threshold", type=float, default=1.0,
+                         metavar="PCT",
+                         help="regression threshold in percent (default 1)")
+    p_bdiff.add_argument("--format", default="text",
+                         choices=["text", "json"])
+    p_bdiff.set_defaults(func=cmd_bench_diff)
 
     p_sweep = sub.add_parser("sweep", parents=[common],
                              help="grid of runs: algorithms x initial nodes")

@@ -102,16 +102,26 @@ class Network:
         self.duplicate_messages: dict[str, int] = defaultdict(int)
         self.retransmissions = 0
         self._in_flight = 0
+        #: high-water mark of concurrent in-flight messages
+        self.in_flight_peak = 0
+        #: optional causal log (duck-typed: on_send/on_attempt/on_deliver;
+        #: see repro.obs.causality), wired by RunContext
+        self.causality: Any | None = None
 
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
-    def send(self, src: Node, dst: Node, message: Wireable) -> Generator[Any, Any, None]:
+    def send(self, src: Node, dst: Node, message: Wireable,
+             parent: int | None = None) -> Generator[Any, Any, None]:
         """Send ``message`` from ``src`` to ``dst`` (yield-from in a process).
 
         Returns once the message has cleared both NICs (flow control: a
         saturated receiver port blocks the sender); the final receiver-CPU
         handling and mailbox deposit complete asynchronously.
+
+        ``parent`` optionally pins the causal-log provenance of this send
+        to a specific edge id; by default the log attributes it to the
+        message the sender is currently processing.
 
         With link faults injected this becomes an at-least-once exchange:
         the sender retransmits on a seeded drop verdict with exponential
@@ -126,6 +136,16 @@ class Network:
         key = (src.node_id, dst.node_id, message.kind)
         self.sent_messages[message.kind] += 1
         self._in_flight += 1
+        if self._in_flight > self.in_flight_peak:
+            self.in_flight_peak = self._in_flight
+        # Record the causal edge before the first yield: the sender's
+        # current cause must be read while it is still processing the
+        # message that triggered this send.
+        edge: Any | None = None
+        if self.causality is not None:
+            edge = self.causality.on_send(
+                src.name, dst.name, message, self.sim.now, parent
+            )
         yield from src.cpu.use(self.cost.net_per_message_cpu)
         if message.kind == "data":
             # Receive-window credit: held until the receiving process
@@ -145,7 +165,7 @@ class Network:
         if faults is None or not faults.links_active or src is dst:
             self.sent_bytes[key] += nbytes
             yield from self._transmit(src, dst, nbytes)
-            self._spawn_deliver(src, dst, message, nbytes, key)
+            self._spawn_deliver(src, dst, message, nbytes, key, edge)
             return
         # Reliable transport: transmit / await ack / back off and retry.
         attempt = 0
@@ -162,7 +182,7 @@ class Network:
                     self.duplicate_bytes[key] += nbytes
                     self.duplicate_messages[message.kind] += 1
                 else:
-                    self._spawn_deliver(src, dst, message, nbytes, key)
+                    self._spawn_deliver(src, dst, message, nbytes, key, edge)
                     delivered = True
                 lost = faults.roll_ack_drop(src.node_id, dst.node_id)
             if not lost:
@@ -181,6 +201,8 @@ class Network:
                 )
             self.retransmissions += 1
             faults.count_retry(message.kind)
+            if edge is not None:
+                self.causality.on_attempt(edge)
             yield self.sim.timeout(faults.rto(attempt))
 
     def _transmit(self, src: Node, dst: Node, nbytes: int) -> Generator[Any, Any, None]:
@@ -220,9 +242,10 @@ class Network:
         message: Wireable,
         nbytes: int,
         key: tuple[int, int, str],
+        edge: Any | None = None,
     ) -> None:
         self.sim.spawn(
-            self._deliver(dst, message, nbytes, key),
+            self._deliver(dst, message, nbytes, key, edge),
             name=f"net:{src.name}->{dst.name}",
         )
 
@@ -232,6 +255,7 @@ class Network:
         message: Wireable,
         nbytes: int,
         key: tuple[int, int, str],
+        edge: Any | None = None,
     ) -> Generator[Any, Any, None]:
         if self.cost.net_jitter > 0.0:
             # Chaos knob: a random stack/scheduling delay after the wire,
@@ -244,6 +268,10 @@ class Network:
         self.delivered_bytes[key] += nbytes
         self.delivered_messages[message.kind] += 1
         self._in_flight -= 1
+        if edge is not None:
+            # Before the deposit: an immediate hand-off to a blocked getter
+            # fires the mailbox's dequeue hook synchronously.
+            self.causality.on_deliver(edge, message, self.sim.now)
         dst.mailbox.put(message)
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ helpers so actor code reads like message-passing pseudocode.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Generator
 from typing import Any
 
@@ -15,7 +16,7 @@ from ..cluster import Cluster, Node
 from ..config import RunConfig
 from ..faults import FaultInjector
 from ..hashing import PositionMap
-from ..obs import MetricsRegistry, SpanLog
+from ..obs import CausalLog, MetricsRegistry, SpanLog
 from ..sim import Simulator, Tracer
 from .messages import DataChunk
 from .results import CommStats
@@ -58,6 +59,26 @@ class RunContext:
 
         self.split_transfer_token = Resource(sim, capacity=1,
                                              name="split-barrier")
+        # Causal message log.  Node names carry *global* node ids
+        # (join nodes are "join<1 + n_sources + pool_index>") while spans
+        # and the tracer use pool-indexed tracks ("join<pool_index>"); the
+        # alias map folds both onto the track names so the critical-path
+        # analysis can join spans with message edges.
+        aliases = {self.cluster.scheduler_node.name: "scheduler"}
+        for s, node in enumerate(self.cluster.source_nodes):
+            aliases[node.name] = f"src{s}"
+        for j, node in enumerate(self.cluster.join_nodes):
+            aliases[node.name] = f"join{j}"
+        self.causal = CausalLog(aliases)
+        self.cluster.network.causality = self.causal
+        for node in (
+            [self.cluster.scheduler_node]
+            + list(self.cluster.source_nodes)
+            + list(self.cluster.join_nodes)
+        ):
+            node.mailbox.deq_probe = functools.partial(
+                self.causal.note_dequeue, node.name
+            )
 
     # ------------------------------------------------------------------
     # addressing
@@ -84,12 +105,19 @@ class RunContext:
     # ------------------------------------------------------------------
     # messaging
     # ------------------------------------------------------------------
-    def send(self, src: Node, dst: Node, msg: Any) -> Generator[Any, Any, None]:
+    def send(self, src: Node, dst: Node, msg: Any,
+             parent: int | None = None) -> Generator[Any, Any, None]:
         """Send ``msg`` over the network, recording comm statistics.
 
         Data chunks are stamped with a run-unique ``transfer_seq`` here —
         the single chokepoint every actor sends through — so receivers can
         suppress re-deliveries idempotently (at-least-once transport).
+
+        ``parent`` optionally overrides the causal-log provenance of the
+        send: processes spawned off an actor's main loop (split/output
+        transfers) capture :meth:`CausalLog.cause_of` at spawn time and
+        pass it here, because by the time they run the actor has usually
+        moved on to another message.
         """
         if isinstance(msg, DataChunk):
             if msg.transfer_seq < 0:
@@ -104,7 +132,7 @@ class RunContext:
         self.comm.bytes_by_kind[msg.kind] = (
             self.comm.bytes_by_kind.get(msg.kind, 0) + msg.nbytes
         )
-        yield from self.cluster.network.send(src, dst, msg)
+        yield from self.cluster.network.send(src, dst, msg, parent=parent)
 
     def trace(self, category: str, actor: str, **detail: Any) -> None:
         self.tracer.emit(self.sim.now, category, actor, **detail)

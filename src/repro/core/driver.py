@@ -160,6 +160,7 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
         timeline=PhaseTimeline(ctx.spans.spans),
         metrics=ctx.metrics.snapshot(),
         tracer=ctx.tracer,
+        causal=ctx.causal,
     )
     if validate and cfg.materialize_output:
         kept = result.output_tuples + result.output_spilled_tuples
@@ -169,11 +170,15 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
             )
     total = sim.now
     if total > 0:
-        for node in (*ctx.cluster.source_nodes,
-                     *(ctx.join_node(j) for j in sorted(reports))):
+        tracked = [
+            (f"src{s}", node)
+            for s, node in enumerate(ctx.cluster.source_nodes)
+        ] + [(f"join{j}", ctx.join_node(j)) for j in sorted(reports)]
+        for track, node in tracked:
             result.utilization.append(NodeUtilization(
                 node=node.node_id,
                 role=node.role,
+                track=track,
                 cpu=node.cpu.busy_time / total,
                 tx=node.tx.busy_time / total,
                 rx=node.rx.busy_time / total,

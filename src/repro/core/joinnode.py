@@ -517,13 +517,18 @@ class JoinProcess:
         if values.size == 0:
             return
         self.transfers_pending += 1
+        # Causal provenance is captured now, while the triggering message
+        # is still current — the spawned process sends concurrently with
+        # this node's main loop, which keeps dequeuing.
+        cause = self.ctx.causal.cause_of(f"join{self.index}")
         self.ctx.sim.spawn(
-            self._run_transfer(values, dest, hop),
+            self._run_transfer(values, dest, hop, cause),
             name=f"xfer:join{self.index}->join{dest}",
         )
 
     def _run_transfer(
-        self, values: np.ndarray, dest: int, hop: str
+        self, values: np.ndarray, dest: int, hop: str,
+        cause: int | None = None,
     ) -> Generator[Any, Any, None]:
         t0 = self.ctx.sim.now
         serialized = hop == Hop.SPLIT
@@ -540,6 +545,7 @@ class JoinProcess:
                     self.node,
                     self.ctx.join_node(dest),
                     DataChunk("R", part, self._tb, hop=hop, origin=self.node.node_id),
+                    parent=cause,
                 )
         finally:
             if serialized:
@@ -793,12 +799,15 @@ class JoinProcess:
     def _spawn_output_transfer(self, pairs: int, dest: int) -> None:
         """Ship materialized pairs to the output sink asynchronously."""
         self.transfers_pending += 1
+        cause = self.ctx.causal.cause_of(f"join{self.index}")
         self.ctx.sim.spawn(
-            self._run_output_transfer(pairs, dest),
+            self._run_output_transfer(pairs, dest, cause),
             name=f"out:join{self.index}->join{dest}",
         )
 
-    def _run_output_transfer(self, pairs: int, dest: int) -> Generator[Any, Any, None]:
+    def _run_output_transfer(
+        self, pairs: int, dest: int, cause: int | None = None
+    ) -> Generator[Any, Any, None]:
         cfg = self.ctx.cfg
         try:
             chunk_pairs = cfg.workload.real_chunk_tuples
@@ -814,6 +823,7 @@ class JoinProcess:
                     DataChunk("O", _np.zeros(n, dtype=_np.uint64),
                               cfg.output_pair_bytes, hop=Hop.OUTPUT,
                               origin=self.node.node_id),
+                    parent=cause,
                 )
         finally:
             self.transfers_pending -= 1

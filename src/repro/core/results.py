@@ -21,6 +21,9 @@ class NodeUtilization:
     tx: float
     rx: float
     disk: float
+    #: timeline/causal-log track name ("src<s>" / "join<pool index>");
+    #: distinct from ``node``, which is the global node id
+    track: str = ""
 
     def __str__(self) -> str:
         return (f"{self.role}{self.node}: cpu={self.cpu:5.1%} "
@@ -112,6 +115,9 @@ class JoinRunResult:
     metrics: list[dict] = field(default_factory=list)
     #: raw event tracer from the run (None when tracing is disabled)
     tracer: Any | None = None
+    #: causal message DAG (:class:`repro.obs.CausalLog`); feed the result
+    #: to :func:`repro.obs.explain` for the critical-path report
+    causal: Any | None = None
 
     # ------------------------------------------------------------------
     @property

@@ -107,6 +107,9 @@ class SchedulerProcess:
 
         # relief machinery
         self.full_queue: deque[int] = deque()
+        #: reporter -> causal edge of its queued MemoryFull (provenance for
+        #: the relief messages sent on its behalf)
+        self._full_edges: dict[int, int | None] = {}
         self.relief_active = False
         #: nodes degraded to disk spilling (pool exhausted / atomic range)
         self.spilled_nodes: set[int] = set()
@@ -166,7 +169,8 @@ class SchedulerProcess:
         return best
 
     def recruit_node(
-        self, make_activate: Callable[[int], ActivateJoin], phase: str = "build"
+        self, make_activate: Callable[[int], ActivateJoin], phase: str = "build",
+        parent: int | None = None,
     ) -> Generator[Any, Any, int | None]:
         """Acknowledged recruitment with failure handling.
 
@@ -192,7 +196,8 @@ class SchedulerProcess:
             if cand is None:
                 self.ctx.trace("pool_exhausted", "scheduler", phase=phase)
                 return None
-            yield from self.send_to_join(cand, make_activate(cand))
+            yield from self.send_to_join(cand, make_activate(cand),
+                                         parent=parent)
             if (yield from self._await_activate_ack(cand)):
                 self.working.append(cand)
                 self.activated.append(cand)
@@ -247,8 +252,10 @@ class SchedulerProcess:
         self.outcome.split_moved_tuples += moved
         self.outcome.split_busy_s += busy
 
-    def send_to_join(self, j: int, msg: Any) -> Generator[Any, Any, None]:
-        yield from self.ctx.send(self.node, self.ctx.join_node(j), msg)
+    def send_to_join(self, j: int, msg: Any,
+                     parent: int | None = None) -> Generator[Any, Any, None]:
+        yield from self.ctx.send(self.node, self.ctx.join_node(j), msg,
+                                 parent=parent)
 
     def broadcast_to_sources(self, msg: Any) -> Generator[Any, Any, None]:
         for s in range(self.ctx.n_sources):
@@ -278,6 +285,10 @@ class SchedulerProcess:
         """Messages that may arrive at any time, handled statelessly."""
         if isinstance(msg, MemoryFull):
             self.full_queue.append(msg.node)
+            # Remember the MemoryFull's causal edge: the relief cycle runs
+            # later (the queue is serialized), after the scheduler has
+            # dequeued other messages, so the implicit cause would be wrong.
+            self._full_edges[msg.node] = self.ctx.causal.cause_of("scheduler")
             self._prev_round = None
         elif isinstance(msg, SourceDone):
             self._source_done[msg.relation].add(msg.source)
@@ -404,7 +415,10 @@ class SchedulerProcess:
             # Re-check first: an earlier split in this queue may already
             # have relieved the reporter (round-robin pointer policies
             # split buckets other than the overflowing one).
-            yield from self.send_to_join(reporter, ReliefPing())
+            yield from self.send_to_join(
+                reporter, ReliefPing(),
+                parent=self._full_edges.pop(reporter, None),
+            )
             ack = yield from self.await_relief_ack(reporter)
             if not ack.still_full:
                 return
@@ -593,6 +607,7 @@ class SchedulerProcess:
             new_node = yield from self.recruit_node(
                 lambda j: ActivateJoin(j, phase="probe", output_sink=True),
                 phase="probe",
+                parent=self._full_edges.pop(reporter, None),
             )
             if new_node is None:
                 self.spilled_nodes.add(reporter)

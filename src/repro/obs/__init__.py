@@ -9,6 +9,10 @@ tuples / matches) and the scheduler (relief-cycle latencies, drain
 rounds).  Phase and transfer *spans* land in a :class:`SpanLog` and are
 attached to ``JoinRunResult`` as a :class:`PhaseTimeline`, exportable as
 JSONL or Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto).
+Network sends additionally land in a :class:`CausalLog` — a causal DAG of
+``send -> deliver`` edges with parent provenance — from which
+:func:`explain` extracts the makespan's critical path and a ranked
+bottleneck report (``repro explain``).
 
 Deliberately dependency-free: ``repro.obs`` imports nothing from the rest
 of ``repro``, so the simulation substrate, the cluster model and the join
@@ -16,6 +20,8 @@ protocol can all publish into it without import cycles.  See
 ``docs/OBSERVABILITY.md`` for the metric catalogue and CLI usage.
 """
 
+from .causality import CausalLog, MessageEdge
+from .critpath import ExplainReport, PathStep, critical_path, explain
 from .export import (
     chrome_trace,
     metrics_to_jsonl,
@@ -37,16 +43,22 @@ from .timeline import (
 )
 
 __all__ = [
+    "CausalLog",
     "Counter",
+    "ExplainReport",
     "PHASE_NAMES",
     "SCHEDULER_TRACK",
     "Gauge",
+    "MessageEdge",
     "MetricsRegistry",
+    "PathStep",
     "PhaseTimeline",
     "Span",
     "SpanLog",
     "TimeWeightedHistogram",
     "chrome_trace",
+    "critical_path",
+    "explain",
     "harvest_network",
     "harvest_nodes",
     "harvest_simulator",

@@ -1,0 +1,186 @@
+"""Causal message log: the run's send -> deliver DAG.
+
+Flat spans and counters say *what* happened; causality says *why*.  Every
+network send is recorded as a :class:`MessageEdge` carrying a ``parent``
+provenance tag — the edge of the message its sender was processing when it
+sent — so a run yields a causal DAG of message edges (Dapper-style) that
+the critical-path analysis (:mod:`repro.obs.critpath`) and the Chrome
+trace's flow events are computed from.
+
+Capture points (all duck-typed, wired by ``RunContext``):
+
+* ``Network.send`` calls :meth:`CausalLog.on_send` before its first yield,
+  so the sending actor's *current cause* is read synchronously, and
+  :meth:`CausalLog.on_attempt` on every fault-injected retransmission.
+* ``Network._deliver`` calls :meth:`CausalLog.on_deliver` just before the
+  mailbox deposit.
+* Every node mailbox's ``deq_probe`` hook calls
+  :meth:`CausalLog.note_dequeue` when an actor takes a message out, which
+  updates that actor's current cause — actors are single-threaded state
+  machines with at most one pending ``get()``, so dequeue order equals
+  processing order and the per-actor cause is exact.
+* Actors that send *asynchronously* (spawned transfer processes) capture
+  :meth:`CausalLog.cause_of` at spawn time and pass it as an explicit
+  ``parent``, because their main loop keeps dequeuing concurrently.
+
+Like the rest of ``repro.obs`` this module imports nothing from the rest
+of ``repro``: messages are duck-typed (``kind``, ``nbytes``, optional
+``hop``/``tuples``) and node names are translated to track names through a
+plain alias dict supplied at construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["MessageEdge", "CausalLog"]
+
+
+@dataclass
+class MessageEdge:
+    """One network message: a timed edge of the causal DAG."""
+
+    eid: int
+    src: str
+    dst: str
+    kind: str
+    msg_type: str
+    hop: str | None
+    nbytes: int
+    tuples: int
+    t_send: float
+    t_deliver: float = math.nan
+    #: wire transmissions of this logical message (1 + retransmissions)
+    attempts: int = 1
+    #: eid of the edge whose delivery caused this send (None for roots)
+    parent: int | None = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.t_deliver == self.t_deliver  # not NaN
+
+    @property
+    def wire_s(self) -> float:
+        """Send-to-deliver latency (NaN while in flight)."""
+        return self.t_deliver - self.t_send
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "eid": self.eid,
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "msg_type": self.msg_type,
+            "hop": self.hop,
+            "nbytes": self.nbytes,
+            "tuples": self.tuples,
+            "t_send": self.t_send,
+            "t_deliver": self.t_deliver if self.delivered else None,
+            "attempts": self.attempts,
+            "parent": self.parent,
+        }
+
+
+class CausalLog:
+    """Append-only log of message edges plus per-actor cause tracking."""
+
+    def __init__(self, aliases: dict[str, str] | None = None) -> None:
+        self.edges: list[MessageEdge] = []
+        self._aliases = dict(aliases or {})
+        #: actor (track name) -> eid of the message it last dequeued
+        self._cause: dict[str, int] = {}
+        #: id(message) -> eid, from delivery until the actor dequeues it
+        self._pending: dict[int, int] = {}
+
+    def alias(self, raw: str) -> str:
+        """Translate a node name to its track name (identity if unknown)."""
+        return self._aliases.get(raw, raw)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    # ------------------------------------------------------------------
+    # network hooks
+    # ------------------------------------------------------------------
+    def on_send(self, src: str, dst: str, message: Any, t: float,
+                parent: int | None = None) -> MessageEdge:
+        """Record a send; must run before the sender's first yield so the
+        per-actor cause is still the message being processed."""
+        if parent is None:
+            parent = self._cause.get(self.alias(src))
+        edge = MessageEdge(
+            eid=len(self.edges),
+            src=self.alias(src),
+            dst=self.alias(dst),
+            kind=message.kind,
+            msg_type=type(message).__name__,
+            hop=getattr(message, "hop", None),
+            nbytes=int(message.nbytes),
+            tuples=int(getattr(message, "tuples", 0) or 0),
+            t_send=t,
+            parent=parent,
+        )
+        self.edges.append(edge)
+        return edge
+
+    def on_attempt(self, edge: MessageEdge) -> None:
+        """Count one retransmission of an already-recorded edge."""
+        edge.attempts += 1
+
+    def on_deliver(self, edge: MessageEdge, message: Any, t: float) -> None:
+        """Stamp the delivery time; must run before the mailbox deposit so
+        an immediate hand-off to a waiting getter finds the edge."""
+        edge.t_deliver = t
+        self._pending[id(message)] = edge.eid
+
+    # ------------------------------------------------------------------
+    # actor hooks
+    # ------------------------------------------------------------------
+    def note_dequeue(self, actor: str, message: Any) -> None:
+        """An actor took ``message`` out of its mailbox: it becomes the
+        actor's current cause (locally-originated messages are no-ops)."""
+        eid = self._pending.pop(id(message), None)
+        if eid is not None:
+            self._cause[self.alias(actor)] = eid
+
+    def cause_of(self, actor: str) -> int | None:
+        """The eid of the message ``actor`` is currently processing."""
+        return self._cause.get(self.alias(actor))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def edge(self, eid: int) -> MessageEdge:
+        return self.edges[eid]
+
+    def children(self, eid: int) -> list[MessageEdge]:
+        """Edges sent while processing edge ``eid``."""
+        return [e for e in self.edges if e.parent == eid]
+
+    def roots(self) -> list[MessageEdge]:
+        """Edges with no recorded cause (the run's spontaneous sends)."""
+        return [e for e in self.edges if e.parent is None]
+
+    def request_pairs(
+        self, request_type: str, response_type: str
+    ) -> list[tuple[MessageEdge, MessageEdge]]:
+        """Matched request -> response edge pairs, e.g. the recruitment
+        handshake ``("ActivateJoin", "ActivateAck")``: a response pairs
+        with a request when the request's delivery caused the response."""
+        out: list[tuple[MessageEdge, MessageEdge]] = []
+        for e in self.edges:
+            if e.msg_type != response_type or e.parent is None:
+                continue
+            p = self.edges[e.parent]
+            if p.msg_type == request_type:
+                out.append((p, e))
+        return out
+
+    def retransmitted(self) -> list[MessageEdge]:
+        """Edges that needed more than one wire transmission."""
+        return [e for e in self.edges if e.attempts > 1]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [e.to_dict() for e in self.edges]

@@ -1,0 +1,409 @@
+"""Critical-path extraction and the ``repro explain`` bottleneck report.
+
+The makespan of a run is tiled, end to start, by a chain of *segments*:
+
+* **node** segments — per-node activity spans from the timeline
+  (``build``/``probe``/``split``/``reshuffle``/``ooc`` on ``join<N>``
+  tracks);
+* **message** segments — ``send -> deliver`` wire edges from the causal
+  log (:mod:`repro.obs.causality`), attributed to the *receiving* track;
+* **wait** segments — synthetic gaps where nothing recorded was running
+  (scheduler decision latency, mailbox idling), attributed to the
+  scheduler phase that contains them.
+
+The extraction is a backward sweep: starting from the makespan, repeatedly
+pick the segment that is active at the current frontier and reaches back
+earliest, clip it to the frontier, and jump to its start; gaps become wait
+segments.  Because the path tiles ``[0, makespan]`` exactly, the step
+durations sum to the makespan by construction — the acceptance invariant
+``sum(step.duration) == makespan`` (within float noise) holds for every
+algorithm and fault plan.
+
+:func:`explain` packages the path into an :class:`ExplainReport` with
+ranked bottlenecks, per-node busy/idle/blocked utilization, and per-phase
+skew (max/mean tuple and byte imbalance across receiving join nodes).
+Everything is duck-typed off ``JoinRunResult`` attributes (``timeline``,
+``causal``, ``utilization``, ``comm``, ``times``, ``config``) so this
+module keeps the ``repro.obs`` no-upward-imports rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .causality import MessageEdge
+from .timeline import SCHEDULER_TRACK, Span
+
+__all__ = ["PathStep", "ExplainReport", "critical_path", "explain"]
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One clipped segment of the critical path."""
+
+    kind: str  # "node" | "message" | "wait"
+    track: str
+    name: str
+    t0: float
+    t1: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "track": self.track,
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "duration_s": self.duration,
+            **({"detail": self.detail} if self.detail else {}),
+        }
+
+
+@dataclass(frozen=True)
+class _Seg:
+    kind: str
+    track: str
+    name: str
+    t0: float
+    t1: float
+    detail: dict[str, Any]
+
+
+def _segments(spans: list[Span], edges: list[MessageEdge]) -> list[_Seg]:
+    segs = [
+        _Seg("node", s.track, s.name, s.t0, s.t1, dict(s.args))
+        for s in spans
+        if s.track != SCHEDULER_TRACK and s.t1 > s.t0
+    ]
+    for e in edges:
+        if e.delivered and e.t_deliver > e.t_send:
+            segs.append(_Seg(
+                "message", e.dst, f"net:{e.msg_type}", e.t_send, e.t_deliver,
+                {"src": e.src, "hop": e.hop, "nbytes": e.nbytes, "eid": e.eid},
+            ))
+    return segs
+
+
+def critical_path(
+    spans: list[Span],
+    edges: list[MessageEdge],
+    makespan: float,
+    phase_spans: list[Span] | None = None,
+) -> list[PathStep]:
+    """Tile ``[0, makespan]`` with the chain of segments that gated the end
+    of the run, earliest first.  Gaps covered by no recorded activity
+    become ``wait`` steps named after the enclosing scheduler phase."""
+    if makespan <= 0.0:
+        return []
+    eps = makespan * 1e-9 + 1e-12
+    phases = list(phase_spans or [])
+
+    def phase_at(t: float) -> str:
+        for p in phases:
+            if p.t0 - eps <= t <= p.t1 + eps:
+                return p.name
+        return "idle"
+
+    # Sorted by end time, descending: segments become candidates as the
+    # frontier sweeps backward past their end.
+    todo = sorted(_segments(spans, edges), key=lambda s: (-s.t1, s.t0))
+    pool: list[_Seg] = []
+    i = 0
+    frontier = makespan
+    path: list[PathStep] = []
+    while frontier > eps:
+        while i < len(todo) and todo[i].t1 >= frontier - eps:
+            pool.append(todo[i])
+            i += 1
+        cands = [s for s in pool if s.t0 < frontier - eps]
+        if cands:
+            # Deterministic pick: reaches back earliest, then stable keys.
+            best = min(cands, key=lambda s: (s.t0, s.track, s.name, s.kind))
+            path.append(PathStep(
+                best.kind, best.track, best.name,
+                max(best.t0, 0.0), frontier, best.detail,
+            ))
+            frontier = max(best.t0, 0.0)
+            # Segments starting at/after the new frontier can never again
+            # reach back past it; drop them so the sweep stays near-linear.
+            pool = [s for s in pool if s.t0 < frontier - eps]
+        else:
+            prev_end = max(
+                (s.t1 for s in todo[i:] if s.t1 < frontier - eps),
+                default=0.0,
+            )
+            prev_end = max(prev_end, 0.0)
+            mid = (prev_end + frontier) / 2.0
+            path.append(PathStep(
+                "wait", SCHEDULER_TRACK, f"wait:{phase_at(mid)}",
+                prev_end, frontier, {},
+            ))
+            frontier = prev_end
+    path.reverse()
+    return path
+
+
+# ----------------------------------------------------------------------
+# report assembly
+# ----------------------------------------------------------------------
+@dataclass
+class ExplainReport:
+    """Ranked bottleneck report for one run (text and JSON renderable)."""
+
+    algorithm: str | None
+    makespan_s: float
+    path: list[PathStep]
+    #: path seconds aggregated by (track, name), ranked by share
+    bottlenecks: list[dict[str, Any]]
+    #: per-node {track, role, active, busy, idle, blocked, cpu, tx, rx, disk}
+    nodes: list[dict[str, Any]]
+    #: per-phase duration/share/top critical contributor/skew numbers
+    phases: list[dict[str, Any]]
+    #: probe replica broadcast stats ({} when the run had none)
+    probe_broadcast: dict[str, Any]
+    #: causal-log edge totals
+    messages: dict[str, Any]
+
+    @property
+    def path_total_s(self) -> float:
+        return sum(s.duration for s in self.path)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "makespan_s": self.makespan_s,
+            "critical_path_total_s": self.path_total_s,
+            "critical_path": [s.to_dict() for s in self.path],
+            "bottlenecks": self.bottlenecks,
+            "nodes": self.nodes,
+            "phases": self.phases,
+            "probe_broadcast": self.probe_broadcast,
+            "messages": self.messages,
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"critical path: {len(self.path)} segments covering "
+            f"{self.path_total_s:.6f}s of a {self.makespan_s:.6f}s makespan"
+            + (f" [{self.algorithm}]" if self.algorithm else ""),
+            "",
+            "ranked bottlenecks (critical-path seconds by track/activity):",
+        ]
+        for rank, b in enumerate(self.bottlenecks, start=1):
+            lines.append(
+                f"  {rank:2d}. {b['track']:<10} {b['name']:<18} "
+                f"{b['seconds']:10.6f}s  {b['share']:6.1%}  "
+                f"({b['steps']} segment{'s' if b['steps'] != 1 else ''})"
+            )
+        if self.probe_broadcast:
+            pb = self.probe_broadcast
+            lines += [
+                "",
+                "probe broadcast: "
+                f"{pb['dup_tuples']} duplicate of {pb['probe_tuples']} probe "
+                f"tuples (replica amplification {pb['dup_share']:.1%})",
+            ]
+        if self.phases:
+            lines += ["", "phases (duration, top critical contributor, skew):"]
+            for ph in self.phases:
+                skew = ph.get("tuple_skew")
+                skew_txt = (f" tuple-skew={skew:.2f}x" if skew else "")
+                bskew = ph.get("byte_skew")
+                skew_txt += (f" byte-skew={bskew:.2f}x" if bskew else "")
+                lines.append(
+                    f"  {ph['name']:<10} {ph['seconds']:10.6f}s "
+                    f"({ph['share']:6.1%})  top={ph['top']}" + skew_txt
+                )
+        if self.nodes:
+            lines += ["", "nodes (active/busy/idle/blocked fractions):"]
+            for n in self.nodes:
+                lines.append(
+                    f"  {n['track']:<10} active={n['active']:6.1%} "
+                    f"busy={n['busy']:6.1%} idle={n['idle']:6.1%} "
+                    f"blocked={n['blocked']:6.1%}"
+                )
+        return "\n".join(lines)
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of closed intervals."""
+    total = 0.0
+    end = float("-inf")
+    for t0, t1 in sorted(intervals):
+        if t1 <= end:
+            continue
+        total += t1 - max(t0, end)
+        end = t1
+    return total
+
+
+def _overlap(t0: float, t1: float, lo: float, hi: float) -> float:
+    return max(0.0, min(t1, hi) - max(t0, lo))
+
+
+def _rank_bottlenecks(
+    path: list[PathStep], makespan: float
+) -> list[dict[str, Any]]:
+    agg: dict[tuple[str, str], dict[str, Any]] = {}
+    for step in path:
+        key = (step.track, step.name)
+        slot = agg.setdefault(
+            key,
+            {"track": step.track, "name": step.name, "kind": step.kind,
+             "seconds": 0.0, "steps": 0},
+        )
+        slot["seconds"] += step.duration
+        slot["steps"] += 1
+    ranked = sorted(
+        agg.values(),
+        key=lambda b: (-b["seconds"], b["track"], b["name"]),
+    )
+    for b in ranked:
+        b["share"] = b["seconds"] / makespan if makespan else 0.0
+    return ranked
+
+
+def _node_report(
+    utilization: list[Any], spans: list[Span], makespan: float
+) -> list[dict[str, Any]]:
+    by_track: dict[str, list[tuple[float, float]]] = {}
+    for s in spans:
+        if s.track != SCHEDULER_TRACK:
+            by_track.setdefault(s.track, []).append((s.t0, s.t1))
+    out = []
+    for u in utilization:
+        track = getattr(u, "track", "") or f"{u.role}{u.node}"
+        # "active" counts span coverage (the node had work in hand);
+        # "busy" is the hottest hardware resource; the gap between the two
+        # is time spent blocked on something else (credits, mailbox, peers).
+        active = min(
+            1.0, _union_length(by_track.get(track, [])) / makespan
+        ) if makespan else 0.0
+        busy = max(u.cpu, u.tx, u.rx, u.disk)
+        out.append({
+            "track": track,
+            "role": u.role,
+            "node": u.node,
+            "active": active,
+            "busy": busy,
+            "idle": max(0.0, 1.0 - active),
+            "blocked": max(0.0, active - busy),
+            "cpu": u.cpu, "tx": u.tx, "rx": u.rx, "disk": u.disk,
+        })
+    return out
+
+
+def _phase_report(
+    phase_spans: list[Span],
+    path: list[PathStep],
+    edges: list[MessageEdge],
+    makespan: float,
+) -> list[dict[str, Any]]:
+    out = []
+    for p in phase_spans:
+        # Top critical-path contributor inside this phase window.
+        contrib: dict[tuple[str, str], float] = {}
+        for step in path:
+            ov = _overlap(step.t0, step.t1, p.t0, p.t1)
+            if ov > 0.0:
+                key = (step.track, step.name)
+                contrib[key] = contrib.get(key, 0.0) + ov
+        top = "-"
+        if contrib:
+            (track, name), secs = max(
+                contrib.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            top = f"{track}/{name} ({secs:.6f}s)"
+        # Skew: data-plane delivery imbalance across receiving join nodes.
+        tuples_by_dst: dict[str, int] = {}
+        bytes_by_dst: dict[str, int] = {}
+        for e in edges:
+            if (e.kind == "data" and e.delivered
+                    and p.t0 - 1e-12 <= e.t_deliver <= p.t1 + 1e-12
+                    and e.dst.startswith("join")):
+                tuples_by_dst[e.dst] = tuples_by_dst.get(e.dst, 0) + e.tuples
+                bytes_by_dst[e.dst] = bytes_by_dst.get(e.dst, 0) + e.nbytes
+
+        def skew(by_dst: dict[str, int]) -> float | None:
+            vals = [v for v in by_dst.values() if v > 0]
+            if not vals:
+                return None
+            mean = sum(vals) / len(vals)
+            return max(vals) / mean if mean else None
+
+        out.append({
+            "name": p.name,
+            "t0": p.t0,
+            "t1": p.t1,
+            "seconds": p.duration,
+            "share": p.duration / makespan if makespan else 0.0,
+            "top": top,
+            "tuple_skew": skew(tuples_by_dst),
+            "byte_skew": skew(bytes_by_dst),
+            "receiving_nodes": len(tuples_by_dst),
+        })
+    return out
+
+
+def explain(result: Any) -> ExplainReport:
+    """Build the full bottleneck report from a ``JoinRunResult``."""
+    timeline = getattr(result, "timeline", None)
+    spans: list[Span] = list(timeline.spans) if timeline is not None else []
+    phase_spans: list[Span] = (
+        timeline.phase_spans() if timeline is not None else []
+    )
+    causal = getattr(result, "causal", None)
+    edges: list[MessageEdge] = list(causal.edges) if causal is not None else []
+
+    times = getattr(result, "times", None)
+    if times is not None:
+        makespan = float(times.total_s)
+    elif timeline is not None:
+        makespan = timeline.end
+    else:
+        makespan = 0.0
+
+    path = critical_path(spans, edges, makespan, phase_spans)
+
+    config = getattr(result, "config", None)
+    algorithm = getattr(getattr(config, "algorithm", None), "value", None)
+
+    comm = getattr(result, "comm", None)
+    probe_broadcast: dict[str, Any] = {}
+    if comm is not None:
+        probe = int(comm.tuples_by_hop.get("probe", 0))
+        dup = int(comm.tuples_by_hop.get("probe_dup", 0))
+        if probe or dup:
+            probe_broadcast = {
+                "probe_tuples": probe,
+                "dup_tuples": dup,
+                "dup_share": dup / probe if probe else 0.0,
+            }
+
+    delivered = [e for e in edges if e.delivered]
+    messages = {
+        "edges": len(edges),
+        "delivered": len(delivered),
+        "retransmitted": sum(1 for e in edges if e.attempts > 1),
+        "bytes": sum(e.nbytes for e in delivered),
+        "roots": sum(1 for e in edges if e.parent is None),
+    }
+
+    return ExplainReport(
+        algorithm=algorithm,
+        makespan_s=makespan,
+        path=path,
+        bottlenecks=_rank_bottlenecks(path, makespan),
+        nodes=_node_report(
+            list(getattr(result, "utilization", []) or []), spans, makespan
+        ),
+        phases=_phase_report(phase_spans, path, edges, makespan),
+        probe_broadcast=probe_broadcast,
+        messages=messages,
+    )

@@ -81,11 +81,17 @@ def chrome_trace(result: Any) -> dict[str, Any]:
 
     Emits one thread (track) per actor: complete events (``ph: "X"``) for
     every timeline span — the scheduler's phase spans plus per-node
-    build/probe/split/reshuffle/ooc spans — and instant events
-    (``ph: "i"``) for every collected trace record.
+    build/probe/split/reshuffle/ooc spans — instant events (``ph: "i"``)
+    for every collected trace record, and flow events (``ph: "s"``/``"f"``)
+    for every delivered causal message edge, drawn as arrows between
+    sender and receiver tracks in Perfetto.  Flow events bind by ``id``
+    (the causal edge id) and carry the edge's ``parent`` provenance in
+    ``args``, so the on-screen arrows are the causal DAG.
     """
     timeline: PhaseTimeline | None = getattr(result, "timeline", None)
     tracer = getattr(result, "tracer", None)
+    causal = getattr(result, "causal", None)
+    edges = list(causal.edges) if causal is not None else []
     if timeline is None:
         timeline = PhaseTimeline()
 
@@ -94,6 +100,10 @@ def chrome_trace(result: Any) -> dict[str, Any]:
         for r in tracer.records:
             if r.actor not in tracks:
                 tracks.append(r.actor)
+    for e in edges:
+        for track in (e.src, e.dst):
+            if track not in tracks:
+                tracks.append(track)
     tracks.sort(key=_track_sort_key)
     tids = {track: i for i, track in enumerate(tracks)}
 
@@ -132,6 +142,27 @@ def chrome_trace(result: Any) -> dict[str, Any]:
                 "s": "t",
                 "args": dict(r.detail),
             })
+
+    for e in edges:
+        if not e.delivered:
+            continue
+        args = {
+            "edge": e.eid,
+            "parent": e.parent,
+            "kind": e.kind,
+            "hop": e.hop,
+            "nbytes": e.nbytes,
+            "attempts": e.attempts,
+        }
+        common = {"pid": 0, "name": e.msg_type, "cat": "causal", "id": e.eid}
+        events.append({
+            "ph": "s", "tid": tids[e.src],
+            "ts": e.t_send * _SECONDS_TO_US, "args": args, **common,
+        })
+        events.append({
+            "ph": "f", "bp": "e", "tid": tids[e.dst],
+            "ts": e.t_deliver * _SECONDS_TO_US, "args": args, **common,
+        })
 
     doc: dict[str, Any] = {
         "traceEvents": events,

@@ -53,6 +53,8 @@ def harvest_network(registry: MetricsRegistry, network: Any) -> None:
         registry.counter("net.duplicate_messages", kind=kind).inc(count)
     if network.retransmissions:
         registry.counter("net.retransmissions").inc(network.retransmissions)
+    if network.in_flight_peak:
+        registry.set_gauge("net.in_flight_peak", network.in_flight_peak)
 
 
 def harvest_nodes(registry: MetricsRegistry, nodes: Iterable[Any]) -> None:

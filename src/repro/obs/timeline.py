@@ -36,11 +36,15 @@ class Span:
     def duration(self) -> float:
         return self.t1 - self.t0
 
-    def __str__(self) -> str:
+    def cells(self) -> tuple[str, str, str, str, str]:
+        """Column cells for tabular rendering (no padding applied)."""
         kv = " ".join(f"{k}={v}" for k, v in self.args.items())
-        return (f"{self.track:<12} {self.name:<10} "
-                f"[{self.t0:12.6f}, {self.t1:12.6f}] "
-                f"dur={self.duration:10.6f} {kv}".rstrip())
+        return (self.track, self.name,
+                f"[{self.t0:.6f}, {self.t1:.6f}]",
+                f"dur={self.duration:.6f}", kv)
+
+    def __str__(self) -> str:
+        return " ".join(self.cells()).rstrip()
 
 
 class SpanLog:
@@ -98,9 +102,17 @@ class PhaseTimeline:
         return max((s.t1 for s in self.spans), default=0.0)
 
     def render(self) -> str:
-        """Human-readable phase report: one line per span, per track."""
-        lines = []
-        for track in self.tracks():
-            for span in self.for_track(track):
-                lines.append(str(span))
-        return "\n".join(lines)
+        """Human-readable phase report: one line per span, per track,
+        columns padded to the widest cell (not hard-coded widths)."""
+        rows = [
+            span.cells()
+            for track in self.tracks()
+            for span in self.for_track(track)
+        ]
+        if not rows:
+            return ""
+        widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+        return "\n".join(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows
+        )

@@ -45,12 +45,21 @@ class Event:
     mailboxes, resources and processes are all built on top of them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_scheduled", "_processed")
+    __slots__ = (
+        "sim", "callbacks", "parent",
+        "_value", "_exc", "_scheduled", "_processed",
+    )
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         #: callables invoked with this event once it is processed
         self.callbacks: list[Callable[[Event], None]] | None = []
+        #: optional provenance tag: the event being processed when this one
+        #: was triggered (see :attr:`Simulator.current_event`).  Purely
+        #: observational — the kernel never reads it — and opt-in, so the
+        #: common case keeps no back-references alive.  Stampers must keep
+        #: chains bounded (e.g. mailboxes tag hand-offs one hop deep).
+        self.parent: Event | None = None
         self._value: Any = PENDING
         self._exc: BaseException | None = None
         self._scheduled = False
@@ -166,6 +175,7 @@ class Simulator:
         self._processed_events = 0
         #: processes that died with an exception (maintained by Process)
         self._failed_processes: list = []
+        self._current_event: Event | None = None
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -179,6 +189,12 @@ class Simulator:
     def processed_events(self) -> int:
         """Total number of events processed so far (for tests/diagnostics)."""
         return self._processed_events
+
+    @property
+    def current_event(self) -> Event | None:
+        """The event whose callbacks are running right now (None between
+        steps).  Provenance stampers use it to set :attr:`Event.parent`."""
+        return self._current_event
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
@@ -208,7 +224,11 @@ class Simulator:
         assert when >= self._now, "event queue went backwards"
         self._now = when
         self._processed_events += 1
-        event._run_callbacks()
+        self._current_event = event
+        try:
+            event._run_callbacks()
+        finally:
+            self._current_event = None
 
     def run(self, until: float | None = None) -> None:
         """Run until the queue drains or simulated time exceeds ``until``.

@@ -36,6 +36,10 @@ class Mailbox:
         #: optional queue-depth instrument (any object with
         #: ``observe(time, depth)``; wired by the cluster's metrics setup)
         self.depth_probe: Any | None = None
+        #: optional dequeue hook, called with each item the moment the
+        #: owning actor takes it out (immediate get, put hand-off or
+        #: drain); wired to the run's causal log by RunContext
+        self.deq_probe: Any | None = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -44,11 +48,20 @@ class Mailbox:
         if self.depth_probe is not None:
             self.depth_probe.observe(self.sim.now, len(self._items))
 
+    def _note_dequeue(self, item: Any) -> None:
+        if self.deq_probe is not None:
+            self.deq_probe(item)
+
     def put(self, item: Any) -> None:
         """Deposit a message; wakes the oldest waiting getter, if any."""
         self.total_put += 1
         if self._getters:
-            self._getters.popleft().succeed(item)
+            getter = self._getters.popleft()
+            # Provenance: the hand-off resumes the getter from whatever
+            # event is firing right now (one hop, so no long chains).
+            getter.parent = self.sim.current_event
+            self._note_dequeue(item)
+            getter.succeed(item)
         else:
             self._items.append(item)
             self._sample_depth()
@@ -63,7 +76,10 @@ class Mailbox:
         """
         ev = Event(self.sim)
         if self._items:
-            ev.succeed(self._items.popleft())
+            item = self._items.popleft()
+            ev.parent = self.sim.current_event
+            self._note_dequeue(item)
+            ev.succeed(item)
             self._sample_depth()
         else:
             self._getters.append(ev)
@@ -78,6 +94,8 @@ class Mailbox:
         """Remove and return all currently queued messages (non-blocking)."""
         items = list(self._items)
         self._items.clear()
+        for item in items:
+            self._note_dequeue(item)
         return items
 
 

@@ -26,9 +26,13 @@ class TraceRecord:
     actor: str
     detail: dict[str, Any] = field(default_factory=dict)
 
-    def __str__(self) -> str:
+    def cells(self) -> tuple[str, str, str, str]:
+        """Column cells for tabular rendering (no padding applied)."""
         kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"[{self.time:12.6f}] {self.category:<12} {self.actor:<14} {kv}"
+        return (f"[{self.time:.6f}]", self.category, self.actor, kv)
+
+    def __str__(self) -> str:
+        return " ".join(self.cells()).rstrip()
 
 
 class Tracer:
@@ -70,7 +74,15 @@ class Tracer:
         return (r for r in self.records if r.category == category)
 
     def format(self) -> str:
-        return "\n".join(str(r) for r in self.records)
+        """All records as text, columns padded to the widest cell."""
+        rows = [r.cells() for r in self.records]
+        if not rows:
+            return ""
+        widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+        return "\n".join(
+            " ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows
+        )
 
     def __len__(self) -> int:
         return len(self.records)

@@ -139,3 +139,49 @@ def test_metrics_command_table_and_jsonl(capsys):
     assert rc == 0
     names = {json.loads(ln)["name"] for ln in lines}
     assert "sim.events_executed" in names
+
+
+def test_metrics_out_writes_table_like_stdout(tmp_path, capsys):
+    """--out must honor the table format too, not just jsonl, and the
+    file contents must match what stdout would have shown."""
+    rc = main(small_args(["metrics", "--algorithm", "split",
+                          "--initial-nodes", "2"]))
+    stdout_table = capsys.readouterr().out
+    assert rc == 0
+
+    out = tmp_path / "metrics.txt"
+    rc = main(small_args(["metrics", "--algorithm", "split",
+                          "--initial-nodes", "2", "--out", str(out)]))
+    printed = capsys.readouterr().out
+    assert rc == 0
+    assert "wrote" in printed and "active instruments" in printed
+    assert out.read_text() == stdout_table  # deterministic run, same table
+    assert "net.in_flight_peak" in stdout_table
+
+
+def test_explain_command_text(capsys):
+    rc = main(small_args(["explain", "--algorithm", "replicate",
+                          "--initial-nodes", "2", "--sigma", "0.05"]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ranked bottlenecks" in out
+    assert "probe broadcast" in out  # skewed replication amplifies probes
+    assert "phases (duration, top critical contributor, skew)" in out
+
+
+def test_explain_command_json_out(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "explain.json"
+    rc = main(small_args(["explain", "--algorithm", "split",
+                          "--initial-nodes", "2", "--format", "json",
+                          "--out", str(out)]))
+    printed = capsys.readouterr().out
+    assert rc == 0
+    assert "wrote" in printed
+    doc = json.loads(out.read_text())
+    assert doc["algorithm"] == "split"
+    assert doc["critical_path"], "path must be non-empty"
+    assert doc["critical_path_total_s"] == pytest.approx(
+        doc["makespan_s"], rel=0.01
+    )

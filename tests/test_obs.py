@@ -266,3 +266,62 @@ def test_trace_buffer_config_bounds_run_tracer():
     res = run_join(cfg)
     assert len(res.tracer) == 10
     assert res.tracer.dropped > 0
+
+
+# ----------------------------------------------------------------------
+# chrome trace: track ordering, durations, causal flow events
+# ----------------------------------------------------------------------
+def test_track_sort_key_orders_scheduler_then_roles_numerically():
+    from repro.obs.export import _track_sort_key
+
+    tracks = ["join10", "src1", "join2", "misc", "scheduler", "join0", "src0"]
+    assert sorted(tracks, key=_track_sort_key) == [
+        "scheduler", "join0", "join2", "join10", "src0", "src1", "misc",
+    ]
+
+
+def test_chrome_trace_round_trips_with_nonnegative_durations():
+    res = run_join(small_config(Algorithm.HYBRID))
+    doc = json.loads(json.dumps(chrome_trace(res)))  # S4: full round-trip
+    events = doc["traceEvents"]
+    for e in events:
+        if e["ph"] == "X":
+            assert e["dur"] >= 0 and e["ts"] >= 0
+        if e["ph"] in ("i", "s", "f"):
+            assert e["ts"] >= 0
+    tids = {e["tid"] for e in events if e["name"] == "thread_name"}
+    assert all(e["tid"] in tids for e in events)
+
+
+def test_chrome_trace_flow_events_mirror_causal_edges():
+    res = run_join(small_config(Algorithm.SPLIT))
+    doc = chrome_trace(res)
+    events = doc["traceEvents"]
+    tid_names = {e["tid"]: e["args"]["name"] for e in events
+                 if e["name"] == "thread_name"}
+    flows = [e for e in events if e.get("cat") == "causal"]
+    assert flows, "a real run must export causal flow events"
+
+    by_id: dict = {}
+    for e in flows:
+        by_id.setdefault(e["id"], {})[e["ph"]] = e
+    edges = {e.eid: e for e in res.causal.edges}
+    for eid, pair in by_id.items():
+        # Every flow id is a real causal edge, exported as a start/finish
+        # pair on the sender's and receiver's tracks.
+        assert set(pair) == {"s", "f"}
+        edge = edges[eid]
+        s, f = pair["s"], pair["f"]
+        assert s["name"] == f["name"] == edge.msg_type
+        assert tid_names[s["tid"]] == edge.src
+        assert tid_names[f["tid"]] == edge.dst
+        assert s["ts"] == pytest.approx(edge.t_send * 1e6)
+        assert f["ts"] == pytest.approx(edge.t_deliver * 1e6)
+        assert f["ts"] >= s["ts"]
+        assert f["bp"] == "e"
+        # args.parent points at another exported edge (or is a root).
+        parent = s["args"]["parent"]
+        assert parent is None or parent in edges
+    # Undelivered edges (none in a clean run) are the only ones skipped.
+    delivered = [e for e in res.causal.edges if e.delivered]
+    assert len(by_id) == len(delivered)
