@@ -1,0 +1,95 @@
+"""Multi-tenant contention sweep: concurrent queries vs one shared pool.
+
+Not a paper figure — the paper runs one join at a time and asks where
+*extra* nodes should go.  This bench asks the follow-on question the
+``repro.workload`` subsystem exists for: what happens when the "additional
+resources" are additional *because another query released them*?  It
+sweeps the number of concurrent queries over a fixed 6-node pool and
+records makespan, p99 latency, queueing delay, denial counts and pool
+utilization.  Every query in every cell is still oracle-validated.
+
+Run with: pytest benchmarks/ --benchmark-only -k workload_contention
+"""
+
+from conftest import run_figure
+
+from repro.analysis import FigureReport
+from repro.config import (
+    ClusterSpec,
+    MTUPLES,
+    QueryMixEntry,
+    WorkloadConfig,
+)
+from repro.workload import run_workload
+
+POOL_NODES = 6
+#: 50 MB pre-scale budget => ~1 MB hash memory per node at 1/50 scale,
+#: small enough that a 2-node query must recruit (and, under contention,
+#: be denied and spill) to finish its build.
+NODE_MEMORY = 50 * 1024 * 1024
+
+
+def _run(n_queries):
+    cfg = WorkloadConfig(
+        n_queries=n_queries,
+        # Closely spaced arrivals so the queries genuinely overlap.
+        arrival_times=tuple(0.05 * q for q in range(n_queries)),
+        seed=7,
+        mix=(QueryMixEntry(r_tuples=2 * MTUPLES, s_tuples=2 * MTUPLES,
+                           initial_nodes=2),),
+        cluster=ClusterSpec(n_sources=2, n_potential_nodes=POOL_NODES,
+                            hash_memory_bytes=NODE_MEMORY),
+        scale=1.0 / 50.0,
+    )
+    return run_workload(cfg)
+
+
+def _build_report():
+    rep = FigureReport(
+        "Workload contention",
+        f"concurrent queries vs one shared {POOL_NODES}-node pool "
+        "(fifo admission, scarce per-node memory)",
+        ["queries", "makespan s", "p99 latency s", "p99 queue s",
+         "denials", "spill queries", "pool util"],
+    )
+    runs = {}
+    for n in (1, 2, 4, 6):
+        res = _run(n)
+        runs[n] = res
+        rep.rows.append([
+            n,
+            res.makespan_s,
+            res.latency_percentiles()["p99"],
+            res.queue_delay_percentiles()["p99"],
+            res.total_denials,
+            len(res.degraded_queries),
+            res.pool_utilization,
+        ])
+    rep.check(
+        "every query in every cell matches its sequential oracle",
+        all(r.all_valid for r in runs.values()),
+    )
+    rep.check(
+        "makespan grows monotonically with offered load",
+        all(runs[a].makespan_s < runs[b].makespan_s
+            for a, b in ((1, 2), (2, 4), (4, 6))),
+    )
+    rep.check(
+        "an uncontended query is never denied and never spills",
+        runs[1].total_denials == 0 and not runs[1].degraded_queries,
+    )
+    rep.check(
+        "under contention the pool denies recruits and queries degrade "
+        "to the out-of-core spill path instead of erroring",
+        runs[6].total_denials > 0 and len(runs[6].degraded_queries) > 0,
+    )
+    rep.check(
+        "contention raises p99 latency over the uncontended run",
+        runs[6].latency_percentiles()["p99"]
+        > runs[1].latency_percentiles()["p99"],
+    )
+    return rep
+
+
+def test_workload_contention(benchmark, report_sink):
+    run_figure(benchmark, report_sink, _build_report)

@@ -25,6 +25,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.obs`      — metrics registry, span timelines, trace export
 - :mod:`repro.analysis` — §4.2.4 cost model, load-balance stats, reports
 - :mod:`repro.bench`    — figure-reproduction harness used by benchmarks/
+- :mod:`repro.workload` — multi-tenant workloads on one shared node pool
 """
 
 from .config import (
@@ -34,11 +35,15 @@ from .config import (
     DEFAULT_SCALE,
     Distribution,
     MTUPLES,
+    PoolPolicy,
+    QueryMixEntry,
     RunConfig,
     SplitPolicy,
+    WorkloadConfig,
     WorkloadSpec,
 )
 from .core import JoinRunResult, run_join
+from .workload import QueryStats, WorkloadResult, run_workload
 from .faults import (
     CrashSpec,
     FaultPlan,
@@ -61,10 +66,16 @@ __all__ = [
     "JoinRunResult",
     "LinkSlowdown",
     "MTUPLES",
+    "PoolPolicy",
+    "QueryMixEntry",
+    "QueryStats",
     "RunConfig",
     "SplitPolicy",
     "UnrecoverableFaultError",
+    "WorkloadConfig",
+    "WorkloadResult",
     "WorkloadSpec",
     "run_join",
+    "run_workload",
     "__version__",
 ]

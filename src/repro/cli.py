@@ -1,8 +1,10 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Eight commands:
+Nine commands:
 
 * ``run``     — one simulated join, printing the phase/traffic summary.
+* ``workload`` — many concurrent joins over one shared node pool, with
+  admission control and per-query latency/queueing percentiles.
 * ``sweep``   — a grid of runs (algorithms x initial nodes), as a table.
 * ``figures`` — regenerate the paper's figures (or a subset) and print /
   save the reproduction reports.
@@ -21,6 +23,8 @@ Examples::
 
     python -m repro run --algorithm hybrid --initial-nodes 4
     python -m repro run --algorithm split --sigma 0.0001 --trace
+    python -m repro workload --queries 6 --pool 8 --policy fair
+    python -m repro workload --mix hybrid:2:2:2:2 --mix ooc:1:4:4:2 --format json
     python -m repro sweep --initial-nodes 1,2,4,8,16
     python -m repro figures --only fig02 fig10 --out reports.md
     python -m repro trace --algorithm hybrid --format chrome --out trace.json
@@ -45,9 +49,12 @@ from .config import (
     ClusterSpec,
     Distribution,
     MTUPLES,
+    PoolPolicy,
+    QueryMixEntry,
     RunConfig,
     SplitPolicy,
     Topology,
+    WorkloadConfig,
     WorkloadSpec,
 )
 from .core import run_join
@@ -348,6 +355,112 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mix_entry(text: str) -> QueryMixEntry:
+    """``ALG[:WEIGHT[:R_M[:S_M[:INITIAL[:SIGMA]]]]]`` -> QueryMixEntry.
+
+    Sizes are in millions of tuples (paper units); a sixth field turns the
+    entry Gaussian-skewed with that sigma.  Example: ``hybrid:2:10:10:4``.
+    """
+    parts = text.split(":")
+    if not 1 <= len(parts) <= 6:
+        raise ValueError(
+            f"mix entry {text!r}: expected ALG[:WEIGHT[:R_M[:S_M"
+            f"[:INITIAL[:SIGMA]]]]]"
+        )
+    alg = Algorithm(parts[0])
+    weight = float(parts[1]) if len(parts) > 1 else 1.0
+    r_m = float(parts[2]) if len(parts) > 2 else 2.0
+    s_m = float(parts[3]) if len(parts) > 3 else r_m
+    initial = int(parts[4]) if len(parts) > 4 else 2
+    sigma = float(parts[5]) if len(parts) > 5 else None
+    return QueryMixEntry(
+        weight=weight,
+        algorithm=alg,
+        r_tuples=int(r_m * MTUPLES),
+        s_tuples=int(s_m * MTUPLES),
+        initial_nodes=initial,
+        distribution=(
+            Distribution.GAUSSIAN if sigma is not None
+            else Distribution.UNIFORM
+        ),
+        gauss_sigma=sigma if sigma is not None else 0.001,
+    )
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from .workload import run_workload
+
+    try:
+        mix = tuple(_parse_mix_entry(m) for m in args.mix) if args.mix else (
+            QueryMixEntry(initial_nodes=2),
+        )
+        cfg = WorkloadConfig(
+            n_queries=args.queries,
+            arrival_rate_qps=args.arrival_rate,
+            arrival_times=tuple(
+                float(t) for t in args.arrival_times.split(",")
+            ) if args.arrival_times else (),
+            seed=args.seed,
+            mix=mix,
+            policy=PoolPolicy(args.policy),
+            fair_share_cap=args.fair_share_cap,
+            grant_timeout_s=args.grant_timeout,
+            cluster=ClusterSpec(
+                n_sources=args.sources,
+                n_potential_nodes=args.pool,
+                hash_memory_bytes=int(args.node_memory_mb * 1024 * 1024),
+                topology=Topology(args.topology),
+            ),
+            scale=args.scale,
+            trace=args.trace,
+            faults=_faults(args),
+        )
+    except ValueError as exc:
+        print(f"workload: {exc}", file=sys.stderr)
+        return 2
+    res = run_workload(cfg, validate=not args.no_validate)
+    if args.format == "json":
+        payload = json.dumps(res.to_dict(), indent=1) + "\n"
+    else:
+        payload = res.summary() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"wrote {args.out} ({args.format})")
+    else:
+        print(payload, end="")
+    if args.metrics_out:
+        from .obs import metrics_to_jsonl
+
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            for line in metrics_to_jsonl(res.metrics):
+                fh.write(line + "\n")
+        print(f"wrote {args.metrics_out} ({len(res.metrics)} instruments)")
+    if args.baseline:
+        # bench-diff's schema keys are fixed (total_s / build_s); for a
+        # workload they carry makespan and p99 latency respectively.
+        base = {
+            "benchmark": "workload",
+            "scale": cfg.scale,
+            "series": {
+                cfg.policy.value: {
+                    str(cfg.n_queries): {
+                        "total_s": res.makespan_s,
+                        "build_s": res.latency_percentiles()["p99"],
+                    }
+                }
+            },
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(base, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.baseline} (workload baseline)")
+    if args.trace:
+        print("\ntrace:")
+        print(res.tracer.format())
+    return 0 if res.all_valid else 1
+
+
 def cmd_bench_diff(args: argparse.Namespace) -> int:
     from .bench import BaselineError, diff_baselines, load_baseline
 
@@ -430,6 +543,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--algorithm", default="hybrid",
                        choices=[a.value for a in Algorithm])
     p_run.set_defaults(func=cmd_run)
+
+    p_wl = sub.add_parser(
+        "workload",
+        help="run many concurrent joins against one shared node pool",
+    )
+    p_wl.add_argument("--queries", type=int, default=4,
+                      help="number of concurrent queries (default 4)")
+    p_wl.add_argument("--arrival-rate", type=float, default=0.5,
+                      metavar="QPS",
+                      help="Poisson arrival rate in queries per simulated "
+                           "second (default 0.5)")
+    p_wl.add_argument("--arrival-times", metavar="T0,T1,...",
+                      help="explicit arrival trace (simulated seconds, one "
+                           "per query; overrides --arrival-rate)")
+    p_wl.add_argument("--mix", action="append", default=[],
+                      metavar="ALG[:W[:R_M[:S_M[:K[:SIGMA]]]]]",
+                      help="weighted query class: algorithm, weight, "
+                           "relation sizes in Mtuples, initial nodes, "
+                           "optional Gaussian sigma; repeatable (default "
+                           "one 2Mx2M hybrid class on 2 nodes)")
+    p_wl.add_argument("--policy", default="fifo",
+                      choices=[p.value for p in PoolPolicy],
+                      help="pool arbitration policy (default fifo)")
+    p_wl.add_argument("--fair-share-cap", type=int, default=4, metavar="N",
+                      help="max pool nodes one query may hold beyond its "
+                           "admission grant (fair policy only; default 4)")
+    p_wl.add_argument("--grant-timeout", type=float, default=None,
+                      metavar="S",
+                      help="deny a parked recruit after S simulated "
+                           "seconds (default: scale-derived)")
+    p_wl.add_argument("--pool", type=int, default=24,
+                      help="shared join nodes in the pool (default 24)")
+    p_wl.add_argument("--sources", type=int, default=2,
+                      help="data-source nodes per query (default 2)")
+    p_wl.add_argument("--node-memory-mb", type=float, default=64.0,
+                      help="hash-table budget per node in MB (default 64)")
+    p_wl.add_argument("--topology", default="switched",
+                      choices=[t.value for t in Topology])
+    p_wl.add_argument("--scale", type=float, default=WorkloadSpec().scale,
+                      help="down-scaling factor (default 1/50)")
+    p_wl.add_argument("--seed", type=int, default=WorkloadConfig().seed)
+    _add_fault_args(p_wl)
+    p_wl.add_argument("--no-validate", action="store_true",
+                      help="skip the per-query sequential-oracle check")
+    p_wl.add_argument("--trace", action="store_true",
+                      help="collect and print the protocol trace")
+    p_wl.add_argument("--format", default="text", choices=["text", "json"])
+    p_wl.add_argument("--out", help="write here instead of stdout")
+    p_wl.add_argument("--metrics-out", metavar="PATH",
+                      help="also dump the shared metrics registry as JSONL")
+    p_wl.add_argument("--baseline", metavar="PATH",
+                      help="write a bench-diff-compatible baseline "
+                           "(total_s=makespan, build_s=p99 latency)")
+    p_wl.set_defaults(func=cmd_workload)
 
     p_trace = sub.add_parser(
         "trace", parents=[common],

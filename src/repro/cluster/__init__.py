@@ -4,7 +4,7 @@ Stands in for the paper's OSUMed testbed (24 Pentium-III nodes on switched
 100 Mb/s Ethernet).  See DESIGN.md §2 for the substitution argument.
 """
 
-from .cluster import Cluster
+from .cluster import Cluster, WorkloadCluster
 from .disk import Disk
 from .memory import MemoryAccount, MemoryFullError
 from .network import Network, Wireable
@@ -18,4 +18,5 @@ __all__ = [
     "Network",
     "Node",
     "Wireable",
+    "WorkloadCluster",
 ]

@@ -16,7 +16,7 @@ from ..sim import Simulator
 from .network import Network
 from .node import Node
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "WorkloadCluster"]
 
 
 def _instrument(node: Node, metrics: Any) -> None:
@@ -104,3 +104,111 @@ class Cluster:
     @property
     def all_nodes(self) -> list[Node]:
         return [self.scheduler_node, *self.source_nodes, *self.join_nodes]
+
+
+@dataclass
+class WorkloadCluster:
+    """Shared-cluster layout for multi-tenant workloads (repro.workload).
+
+    One interconnect, one communal join-node pool, plus *per query*: a
+    scheduler node and a private set of source nodes.  ``views[q]`` is a
+    plain :class:`Cluster` facade over the shared hardware — the per-query
+    :class:`~repro.core.context.RunContext` consumes it unchanged, which is
+    what lets every single-query actor run unmodified in workload mode.
+
+    Node-id layout: pool coordinator first, then the per-query scheduler
+    and source nodes, then the shared join pool (so join-node global ids —
+    and with them trace/metric labels — are stable in the query count).
+    """
+
+    sim: Simulator
+    spec: ClusterSpec
+    network: Network
+    pool_node: Node
+    join_nodes: list[Node]
+    views: list[Cluster]
+
+    @classmethod
+    def build(
+        cls, sim: Simulator, spec: ClusterSpec, n_queries: int,
+        metrics: Any | None = None, faults: Any | None = None,
+    ) -> WorkloadCluster:
+        from ..config import Topology
+
+        network = Network(
+            sim, spec.cost,
+            shared_hub=spec.topology is Topology.SHARED_HUB,
+            faults=faults,
+        )
+        next_id = 0
+        pool_node = Node(sim, next_id, "pool", spec.cost)
+        next_id += 1
+
+        scheduler_nodes = []
+        for _ in range(n_queries):
+            scheduler_nodes.append(Node(sim, next_id, "sched", spec.cost))
+            next_id += 1
+        source_nodes: list[list[Node]] = []
+        for _ in range(n_queries):
+            per_query = []
+            for _ in range(spec.n_sources):
+                per_query.append(Node(sim, next_id, "src", spec.cost))
+                next_id += 1
+            source_nodes.append(per_query)
+
+        join_nodes = []
+        for j in range(spec.n_potential_nodes):
+            join_nodes.append(
+                Node(
+                    sim, next_id, "join", spec.cost,
+                    hash_memory_bytes=spec.memory_of(j),
+                )
+            )
+            next_id += 1
+
+        views = [
+            Cluster(
+                sim=sim, spec=spec, network=network,
+                scheduler_node=scheduler_nodes[q],
+                source_nodes=source_nodes[q],
+                join_nodes=join_nodes,
+            )
+            for q in range(n_queries)
+        ]
+        wc = cls(
+            sim=sim, spec=spec, network=network, pool_node=pool_node,
+            join_nodes=join_nodes, views=views,
+        )
+        if metrics is not None:
+            for node in wc.all_nodes:
+                _instrument(node, metrics)
+        return wc
+
+    @property
+    def all_nodes(self) -> list[Node]:
+        nodes = [self.pool_node]
+        for view in self.views:
+            nodes.append(view.scheduler_node)
+            nodes.extend(view.source_nodes)
+        nodes.extend(self.join_nodes)
+        return nodes
+
+    def reset_join_node(self, index: int) -> None:
+        """Return a released pool node to factory state for its next tenant.
+
+        The previous query's JoinProcess has exited (its Shutdown was
+        answered with a FinalReport and the drain protocol guarantees no
+        data is still in flight), but exit does not free hardware state:
+        the memory account (and its peak), any unclaimed receive credits,
+        and stray mailbox items must be cleared before a fresh JoinProcess
+        adopts the node.
+        """
+        node = self.join_nodes[index]
+        node.mailbox.drain()
+        node.memory.reset()
+        credits = node.recv_credits
+        assert credits.queue_length == 0, (
+            f"reset of {node.name} with senders still waiting for credits"
+        )
+        for _ in range(credits.in_use):
+            credits.release()

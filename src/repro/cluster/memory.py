@@ -76,6 +76,18 @@ class MemoryAccount:
         if not self.try_alloc(nbytes):
             raise MemoryFullError(nbytes, self.available)
 
+    def reset(self) -> None:
+        """Forget all usage *and* the high-water mark.
+
+        Workload mode reuses physical join nodes across queries: the pool
+        hands a released node to the next query, whose fresh JoinProcess
+        must see an empty account and a per-query peak (FinalReport reads
+        ``peak``).  The usage probe is sampled so the shared metrics
+        timeline shows the release."""
+        self._used = 0
+        self.peak = 0
+        self._sample_usage()
+
     def free(self, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError("cannot free a negative size")

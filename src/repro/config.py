@@ -27,6 +27,9 @@ __all__ = [
     "ClusterSpec",
     "WorkloadSpec",
     "RunConfig",
+    "PoolPolicy",
+    "QueryMixEntry",
+    "WorkloadConfig",
     "MTUPLES",
     "DEFAULT_SCALE",
 ]
@@ -282,6 +285,153 @@ class WorkloadSpec:
     @property
     def chunk_bytes(self) -> int:
         return self.real_chunk_tuples * self.tuple_bytes
+
+
+class PoolPolicy(enum.Enum):
+    """Arbitration rule of the shared resource pool (``repro.workload``).
+
+    FIFO — park recruit requests in arrival order and grant the oldest
+    first whenever a node frees up.
+
+    FAIR_SHARE — like FIFO, but a query already holding ``fair_share_cap``
+    or more pool nodes beyond admission is denied immediately, keeping one
+    skewed query from monopolizing the pool.
+
+    MEMORY_DEFICIT — grant the parked request with the *smallest* reported
+    memory deficit first (cheapest relief first): small deficits clear
+    with one node while a badly skewed query would consume many.
+    """
+
+    FIFO = "fifo"
+    FAIR_SHARE = "fair"
+    MEMORY_DEFICIT = "deficit"
+
+
+@dataclass(frozen=True)
+class QueryMixEntry:
+    """One query class in a workload mix (weighted random selection).
+
+    Sizes are in *paper units* like :class:`WorkloadSpec`; the workload's
+    shared ``scale`` applies to every query.
+    """
+
+    weight: float = 1.0
+    algorithm: Algorithm = Algorithm.HYBRID
+    r_tuples: int = 2 * MTUPLES
+    s_tuples: int = 2 * MTUPLES
+    tuple_bytes: int = 100
+    distribution: Distribution = Distribution.UNIFORM
+    gauss_mean: float = 0.5
+    gauss_sigma: float = 0.001
+    initial_nodes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"mix weight must be > 0, got {self.weight}")
+        if self.r_tuples < 1 or self.s_tuples < 1:
+            raise ValueError("mix entry relation sizes must be >= 1 tuple")
+        if self.tuple_bytes < 16:
+            raise ValueError("tuple_bytes must cover the two 64-bit fields")
+        if self.initial_nodes < 1:
+            raise ValueError("mix entry initial_nodes must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """A multi-query workload over one shared cluster (``repro.workload``).
+
+    Arrivals are either a seeded Poisson process (``arrival_rate_qps``
+    exponential inter-arrival gaps) or an explicit trace
+    (``arrival_times``, simulated seconds, one per query).  Query classes
+    are drawn from ``mix`` by weight; every draw is deterministic under
+    ``seed``.
+    """
+
+    n_queries: int = 4
+    #: Poisson arrival rate in queries per simulated second (ignored when
+    #: an explicit ``arrival_times`` trace is given)
+    arrival_rate_qps: float = 0.5
+    #: explicit arrival trace (simulated seconds, one entry per query);
+    #: empty means Poisson arrivals from ``arrival_rate_qps``
+    arrival_times: tuple[float, ...] = ()
+    seed: int = 20040607
+    mix: tuple[QueryMixEntry, ...] = (QueryMixEntry(),)
+    policy: PoolPolicy = PoolPolicy.FIFO
+    #: max pool nodes one query may hold beyond its admission grant
+    #: (FAIR_SHARE policy only)
+    fair_share_cap: int = 4
+    #: how long a recruit request may stay parked before it is denied
+    #: (simulated seconds); None derives ~200 drain-poll intervals.  Must
+    #: be finite: a bounded wait is what guarantees denial degrades to the
+    #: OOC spill path instead of deadlocking an admission behind it.
+    grant_timeout_s: float | None = None
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    scale: float = DEFAULT_SCALE
+    drain_poll_interval: float = 0.010
+    trace: bool = False
+    #: shared fault plan (link drops / slowdowns / dormant-node crashes);
+    #: workload mode forbids ack drops and phase-triggered crashes (see
+    #: docs/WORKLOADS.md "Faults")
+    faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+        if not self.mix:
+            raise ValueError("workload mix must not be empty")
+        if self.arrival_times:
+            if len(self.arrival_times) != self.n_queries:
+                raise ValueError(
+                    f"arrival trace has {len(self.arrival_times)} entries "
+                    f"for {self.n_queries} queries"
+                )
+            if any(t < 0 for t in self.arrival_times):
+                raise ValueError("arrival times must be >= 0")
+        elif self.arrival_rate_qps <= 0:
+            raise ValueError(
+                f"arrival_rate_qps must be > 0, got {self.arrival_rate_qps}"
+            )
+        if self.fair_share_cap < 1:
+            raise ValueError(
+                f"fair_share_cap must be >= 1 node, got {self.fair_share_cap}"
+            )
+        if self.grant_timeout_s is not None and not (
+            0 < self.grant_timeout_s < float("inf")
+        ):
+            raise ValueError("grant_timeout_s must be finite and > 0")
+        if not (0 < self.scale <= 1.0):
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        for entry in self.mix:
+            if entry.initial_nodes > self.cluster.n_potential_nodes:
+                raise ValueError(
+                    f"mix entry needs {entry.initial_nodes} initial nodes "
+                    f"but the pool only has {self.cluster.n_potential_nodes}"
+                )
+        if self.faults is not None:
+            if self.faults.ack_drop_prob > 0:
+                raise ValueError(
+                    "workload mode forbids ack_drop_prob > 0: duplicate "
+                    "suppression state is per-query, so a late duplicate "
+                    "could leak into the next tenant of a reused node"
+                )
+            if any(c.at_phase is not None for c in self.faults.crashes):
+                raise ValueError(
+                    "workload mode forbids phase-triggered crashes: phases "
+                    "are per-query and ambiguous across concurrent queries "
+                    "(use at_time)"
+                )
+
+    @property
+    def effective_cluster(self) -> ClusterSpec:
+        """Cluster spec with memory budgets co-scaled with the workload."""
+        return self.cluster.scaled(self.scale)
+
+    @property
+    def effective_grant_timeout(self) -> float:
+        """Parked-recruit deadline in simulated seconds."""
+        if self.grant_timeout_s is not None:
+            return self.grant_timeout_s
+        return 200.0 * self.drain_poll_interval * self.scale
 
 
 @dataclass(frozen=True)

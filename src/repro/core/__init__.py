@@ -12,6 +12,7 @@ from .hybrid import HybridStrategy
 from .joinnode import JoinProcess, SpillStore
 from .messages import DataChunk, Hop
 from .ooc import OutOfCoreStrategy
+from .pool import PoolClient, PoolStats, ResourcePoolProcess
 from .replicate import ReplicationStrategy
 from .results import CommStats, JoinRunResult, NodeLoad, NodeUtilization, PhaseTimes
 from .scheduler import SchedulerProcess
@@ -31,7 +32,10 @@ __all__ = [
     "NodeUtilization",
     "OutOfCoreStrategy",
     "PhaseTimes",
+    "PoolClient",
+    "PoolStats",
     "ReplicationStrategy",
+    "ResourcePoolProcess",
     "RunContext",
     "SchedulerProcess",
     "SpillStore",

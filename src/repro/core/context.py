@@ -25,29 +25,74 @@ __all__ = ["RunContext"]
 
 
 class RunContext:
-    """Everything a scheduler/source/join process needs to participate."""
+    """Everything a scheduler/source/join process needs to participate.
 
-    def __init__(self, sim: Simulator, cfg: RunConfig) -> None:
+    Two construction modes:
+
+    * **private** (default): builds and owns a whole cluster, the metrics
+      registry, the fault injector and the causal log — one query, one
+      cluster, exactly the pre-workload behaviour.
+    * **shared** (``cluster=...`` given): the workload driver passes in a
+      per-query *view* of the shared cluster (own scheduler/source nodes,
+      the communal join-node pool) plus the shared metrics/span/tracer/
+      fault plumbing.  The context then skips cluster construction and
+      causal-log wiring (message causality is a single-query diagnostic;
+      interleaved queries would corrupt one global log), and gains two
+      workload-only attributes: ``pool`` (the query's
+      :class:`~repro.core.pool.PoolClient`) and ``initial_join_nodes``
+      (the admission grant, replacing ``range(cfg.initial_nodes)``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: RunConfig,
+        *,
+        cluster: Cluster | None = None,
+        metrics: MetricsRegistry | None = None,
+        spans: SpanLog | None = None,
+        tracer: Tracer | None = None,
+        faults: FaultInjector | None = None,
+        query: int = 0,
+    ) -> None:
         self.sim = sim
         self.cfg = cfg
-        self.metrics = MetricsRegistry(clock=lambda: sim.now)
-        self.spans = SpanLog()
-        self.tracer = Tracer(enabled=cfg.trace, maxlen=cfg.trace_buffer)
+        shared = cluster is not None
+        self.query = query
+        #: workload mode: the query's handle to the shared pool actor
+        self.pool: Any | None = None
+        #: workload mode: pool indices granted at admission
+        self.initial_join_nodes: list[int] | None = None
+        self.metrics = (
+            metrics if metrics is not None
+            else MetricsRegistry(clock=lambda: sim.now)
+        )
+        self.spans = spans if spans is not None else SpanLog()
+        self.tracer = (
+            tracer if tracer is not None
+            else Tracer(enabled=cfg.trace, maxlen=cfg.trace_buffer)
+        )
         #: fault injector (None on the fault-free path — the network then
         #: takes the exact pre-fault code path, byte for byte)
-        self.faults: FaultInjector | None = (
-            FaultInjector(cfg.faults, sim, self.metrics, trace=self.trace)
-            if cfg.faults is not None and cfg.faults.active
-            else None
-        )
-        self.cluster = Cluster.build(
-            sim, cfg.effective_cluster, metrics=self.metrics,
-            faults=self.faults,
+        if shared:
+            self.faults = faults
+        else:
+            self.faults = (
+                FaultInjector(cfg.faults, sim, self.metrics, trace=self.trace)
+                if cfg.faults is not None and cfg.faults.active
+                else None
+            )
+        self.cluster = (
+            cluster if cluster is not None
+            else Cluster.build(
+                sim, cfg.effective_cluster, metrics=self.metrics,
+                faults=self.faults,
+            )
         )
         self.posmap = PositionMap(cfg.hash_positions, mix=cfg.mix_hash)
         self.comm = CommStats()
         self.cost = cfg.effective_cluster.cost
-        if self.faults is not None:
+        if not shared and self.faults is not None:
             self.faults.resolve_timing(self.cost)
         #: monotonically increasing data-chunk sequence (duplicate keying)
         self._next_seq = 0
@@ -63,22 +108,25 @@ class RunContext:
         # (join nodes are "join<1 + n_sources + pool_index>") while spans
         # and the tracer use pool-indexed tracks ("join<pool_index>"); the
         # alias map folds both onto the track names so the critical-path
-        # analysis can join spans with message edges.
+        # analysis can join spans with message edges.  Shared mode keeps a
+        # per-query *empty* log (cause_of -> None) and leaves the shared
+        # network's causality hook unset.
         aliases = {self.cluster.scheduler_node.name: "scheduler"}
         for s, node in enumerate(self.cluster.source_nodes):
             aliases[node.name] = f"src{s}"
         for j, node in enumerate(self.cluster.join_nodes):
             aliases[node.name] = f"join{j}"
         self.causal = CausalLog(aliases)
-        self.cluster.network.causality = self.causal
-        for node in (
-            [self.cluster.scheduler_node]
-            + list(self.cluster.source_nodes)
-            + list(self.cluster.join_nodes)
-        ):
-            node.mailbox.deq_probe = functools.partial(
-                self.causal.note_dequeue, node.name
-            )
+        if not shared:
+            self.cluster.network.causality = self.causal
+            for node in (
+                [self.cluster.scheduler_node]
+                + list(self.cluster.source_nodes)
+                + list(self.cluster.join_nodes)
+            ):
+                node.mailbox.deq_probe = functools.partial(
+                    self.causal.note_dequeue, node.name
+                )
 
     # ------------------------------------------------------------------
     # addressing

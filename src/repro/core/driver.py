@@ -10,6 +10,11 @@ This is the public entry point::
 The driver also validates the run end-to-end by default: the distributed
 match count must equal the sequential oracle on the identical relations,
 and the network must conserve bytes.
+
+The assembly half (`assemble_result`) is shared with the multi-tenant
+workload driver (:mod:`repro.workload`), which runs many of these
+pipelines inside one simulator and turns each scheduler outcome into a
+per-query :class:`JoinRunResult` with the same code path.
 """
 
 from __future__ import annotations
@@ -31,55 +36,69 @@ from .datasource import DataSourceProcess
 from .joinnode import JoinProcess
 from .messages import Hop
 from .results import JoinRunResult, NodeLoad, NodeUtilization, PhaseTimes
-from .scheduler import SchedulerProcess
+from .scheduler import SchedulerOutcome, SchedulerProcess
 
-__all__ = ["run_join"]
+__all__ = ["run_join", "assemble_result", "spawn_query_pipeline"]
 
 
-def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
-    """Execute one simulated parallel join under ``cfg``.
+def spawn_query_pipeline(
+    ctx: RunContext, *, spawn_joins: bool = True,
+) -> SchedulerProcess:
+    """Spawn one query's scheduler + sources (+ optionally all join nodes).
 
-    ``validate=True`` additionally computes the exact join cardinality with
-    the sequential reference and raises ``AssertionError`` on any mismatch
-    or conservation violation — the whole-system invariant the test suite
-    leans on.  Pass ``validate=False`` for large benchmark sweeps where the
-    oracle's O((|R|+|S|) log |R|) cost is unwanted.
+    Single-query mode spawns a JoinProcess for the entire potential pool up
+    front.  Workload mode passes ``spawn_joins=False``: join processes are
+    created lazily, one per pool *grant*, by the workload driver's adopt
+    callback — a dormant shared node must not be bound to any one query.
+    Returns the scheduler process object; its spawned simulation process is
+    available as ``ctx.sim`` process return value via the caller's spawn.
     """
-    sim = Simulator()
-    ctx = RunContext(sim, cfg)
-
     scheduler = SchedulerProcess(ctx)
-    sched_proc = sim.spawn(scheduler.run(), name="scheduler")
+    scheduler.proc = ctx.sim.spawn(
+        scheduler.run(), name=f"scheduler-q{ctx.query}"
+    )
 
-    auto_spill = cfg.algorithm is Algorithm.OUT_OF_CORE
-    joins = [
-        JoinProcess(ctx, j, auto_spill=auto_spill) for j in range(ctx.n_potential)
-    ]
-    join_procs = {}
-    for jp in joins:
-        join_procs[jp.index] = sim.spawn(jp.run(), name=f"join{jp.index}")
-
-    if ctx.faults is not None:
-        ctx.faults.attach_joins(join_procs, {jp.index: jp for jp in joins})
-        ctx.faults.start()
+    if spawn_joins:
+        auto_spill = ctx.cfg.algorithm is Algorithm.OUT_OF_CORE
+        joins = [
+            JoinProcess(ctx, j, auto_spill=auto_spill)
+            for j in range(ctx.n_potential)
+        ]
+        join_procs = {}
+        for jp in joins:
+            join_procs[jp.index] = ctx.sim.spawn(jp.run(), name=f"join{jp.index}")
+        if ctx.faults is not None:
+            ctx.faults.attach_joins(join_procs, {jp.index: jp for jp in joins})
+            ctx.faults.start()
 
     sources = [
         DataSourceProcess(ctx, s, scheduler.router) for s in range(ctx.n_sources)
     ]
     for sp in sources:
-        sim.spawn(sp.run(), name=f"src{sp.index}")
+        ctx.sim.spawn(sp.run(), name=f"src{sp.index}-q{ctx.query}")
+    return scheduler
 
-    sim.run()
 
-    outcome = sched_proc.value
-    ctx.cluster.network.assert_conserved()
+def assemble_result(
+    ctx: RunContext,
+    outcome: SchedulerOutcome,
+    validate: bool,
+    span_track: str = SCHEDULER_TRACK,
+) -> JoinRunResult:
+    """Turn a finished scheduler outcome into a validated JoinRunResult.
 
+    Phase times are measured from ``outcome.t_start`` (nonzero in workload
+    mode, where a query's pipeline starts at its arrival time), so the
+    per-query latency accounting is arrival-relative while the span
+    timeline keeps absolute simulated time.
+    """
+    cfg = ctx.cfg
     # Fold the probe-side replica duplicates into the hop accounting.
     if outcome.probe_dup_tuples:
         ctx.comm.tuples_by_hop[Hop.PROBE_DUP] = outcome.probe_dup_tuples
 
     times = PhaseTimes(
-        build_s=outcome.t_build,
+        build_s=outcome.t_build - outcome.t_start,
         reshuffle_s=outcome.t_reshuffle - outcome.t_build,
         probe_s=outcome.t_probe - outcome.t_reshuffle,
         ooc_pass_s=outcome.t_ooc - outcome.t_probe,
@@ -88,17 +107,12 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
     # Scheduler-track phase spans come straight from the outcome stamps, so
     # the chrome trace's phase lanes agree with PhaseTimes by construction.
     boundaries = (
-        0.0, outcome.t_build, outcome.t_reshuffle, outcome.t_probe,
-        outcome.t_ooc,
+        outcome.t_start, outcome.t_build, outcome.t_reshuffle,
+        outcome.t_probe, outcome.t_ooc,
     )
     for name, t0, t1 in zip(PHASE_NAMES, boundaries, boundaries[1:]):
         if t1 > t0 or name == "build":
-            ctx.spans.add(SCHEDULER_TRACK, name, t0, t1)
-
-    harvest_simulator(ctx.metrics, sim)
-    harvest_network(ctx.metrics, ctx.cluster.network)
-    harvest_nodes(ctx.metrics, ctx.cluster.all_nodes)
-    ctx.metrics.close()
+            ctx.spans.add(span_track, name, t0, t1)
 
     reports = outcome.final_reports
     loads = [
@@ -158,7 +172,6 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
             1 for r in reports.values() if r.is_output_sink
         ),
         timeline=PhaseTimeline(ctx.spans.spans),
-        metrics=ctx.metrics.snapshot(),
         tracer=ctx.tracer,
         causal=ctx.causal,
     )
@@ -168,8 +181,38 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
             raise AssertionError(
                 f"materialized output lost: kept={kept} matches={matches}"
             )
+    return result
+
+
+def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
+    """Execute one simulated parallel join under ``cfg``.
+
+    ``validate=True`` additionally computes the exact join cardinality with
+    the sequential reference and raises ``AssertionError`` on any mismatch
+    or conservation violation — the whole-system invariant the test suite
+    leans on.  Pass ``validate=False`` for large benchmark sweeps where the
+    oracle's O((|R|+|S|) log |R|) cost is unwanted.
+    """
+    sim = Simulator()
+    ctx = RunContext(sim, cfg)
+    scheduler = spawn_query_pipeline(ctx)
+
+    sim.run()
+
+    outcome = scheduler.proc.value
+    ctx.cluster.network.assert_conserved()
+
+    harvest_simulator(ctx.metrics, sim)
+    harvest_network(ctx.metrics, ctx.cluster.network)
+    harvest_nodes(ctx.metrics, ctx.cluster.all_nodes)
+    ctx.metrics.close()
+
+    result = assemble_result(ctx, outcome, validate)
+    result.metrics = ctx.metrics.snapshot()
+
     total = sim.now
     if total > 0:
+        reports = outcome.final_reports
         tracked = [
             (f"src{s}", node)
             for s, node in enumerate(ctx.cluster.source_nodes)

@@ -457,8 +457,10 @@ class JoinProcess:
             self.full_pending = True
             self.ctx.trace("memory_full", f"join{self.index}",
                            stored=self.store.stored_tuples)
+            deficit = sum(c.nbytes for c in self.parked)
             yield from self.ctx.send(
-                self.node, self.ctx.scheduler_node, MemoryFull(self.index)
+                self.node, self.ctx.scheduler_node,
+                MemoryFull(self.index, deficit_bytes=deficit),
             )
         return False
 
@@ -793,7 +795,11 @@ class JoinProcess:
             self.ctx.trace("output_full", f"join{self.index}",
                            materialized=self.output_tuples)
             yield from self.ctx.send(
-                self.node, self.ctx.scheduler_node, MemoryFull(self.index)
+                self.node, self.ctx.scheduler_node,
+                MemoryFull(
+                    self.index,
+                    deficit_bytes=self.output_pending * cfg.output_pair_bytes,
+                ),
             )
 
     def _spawn_output_transfer(self, pairs: int, dest: int) -> None:

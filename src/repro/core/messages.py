@@ -49,6 +49,10 @@ __all__ = [
     "Shutdown",
     "FinalReport",
     "PollTick",
+    "RecruitRequest",
+    "RecruitGrant",
+    "RecruitDeny",
+    "QueryDone",
 ]
 
 #: default control-plane size; kept in sync with CostModel.control_msg_bytes
@@ -267,9 +271,14 @@ class RouteUpdate:
 # ----------------------------------------------------------------------
 @dataclass
 class MemoryFull(_Control):
-    """A join node's bucket memory is exhausted (paper's trigger event)."""
+    """A join node's bucket memory is exhausted (paper's trigger event).
+
+    ``deficit_bytes`` is the reporter's parked backlog (bytes it could not
+    place) — the shared pool's MEMORY_DEFICIT policy grants the smallest
+    deficit first (see :class:`repro.config.PoolPolicy`)."""
 
     node: int
+    deficit_bytes: int = 0
 
 
 @dataclass
@@ -356,6 +365,56 @@ class FinalReport(_Control):
     output_tuples: int = 0
     output_spilled_tuples: int = 0
     is_output_sink: bool = False
+
+
+# ----------------------------------------------------------------------
+# scheduler <-> shared resource pool (repro.workload multi-tenancy)
+# ----------------------------------------------------------------------
+@dataclass
+class RecruitRequest(_Control):
+    """A query's scheduler asks the shared pool for join nodes.
+
+    ``admission=True`` is the query's start-of-life request for its
+    ``initial_nodes`` (``want`` of them, head-of-line FIFO, never denied —
+    it parks until enough nodes free up, which is the workload's queueing
+    delay).  ``admission=False`` is a mid-run expansion recruit for one
+    node; it may be denied (policy cap or grant timeout), in which case
+    the scheduler degrades the reporter to the OOC spill path.
+    """
+
+    query: int
+    want: int = 1
+    admission: bool = False
+    #: reporter's parked backlog (MEMORY_DEFICIT policy ordering)
+    deficit_bytes: int = 0
+    phase: str = "build"
+
+
+@dataclass
+class RecruitGrant(_Control):
+    """Pool -> scheduler: exclusive ownership of ``nodes`` (pool indices)."""
+
+    query: int
+    nodes: tuple[int, ...] = ()
+
+
+@dataclass
+class RecruitDeny(_Control):
+    """Pool -> scheduler: no node for you (``reason``: "fair_share_cap" or
+    "timeout"); the scheduler falls back to out-of-core spilling."""
+
+    query: int
+    reason: str = "timeout"
+
+
+@dataclass
+class QueryDone(_Control):
+    """Scheduler -> pool: the query finished; ``released`` nodes return to
+    the free pool.  Nodes lost to crashes or zombie recruits are *not*
+    released — the pool shrinks, as it would on real hardware."""
+
+    query: int
+    released: tuple[int, ...] = ()
 
 
 # ----------------------------------------------------------------------

@@ -43,6 +43,10 @@ from .messages import (
     OutputRedirect,
     PassDone,
     PollTick,
+    QueryDone,
+    RecruitDeny,
+    RecruitGrant,
+    RecruitRequest,
     ReliefAck,
     ReliefPing,
     ReshuffleDone,
@@ -63,6 +67,7 @@ __all__ = ["SchedulerProcess", "SchedulerOutcome"]
 class SchedulerOutcome:
     """Raw facts the driver turns into a JoinRunResult."""
 
+    t_start: float = 0.0
     t_build: float = 0.0
     t_reshuffle: float = 0.0
     t_probe: float = 0.0
@@ -92,15 +97,32 @@ class SchedulerProcess:
         self.cfg = ctx.cfg
         self.node = ctx.scheduler_node
         self.outcome = SchedulerOutcome()
+        #: the spawned simulation process (set by spawn_query_pipeline)
+        self.proc: Any = None
         self.strategy = make_strategy(self, self.cfg)
 
-        # node pools (paper: working / full / potential join nodes)
-        self.working: list[int] = list(range(self.cfg.initial_nodes))
+        # node pools (paper: working / full / potential join nodes).
+        # In workload mode (ctx.pool set) the private potential pool is
+        # empty: every expansion node comes from the shared pool actor, and
+        # the initial nodes are whatever the admission grant handed us.
+        self.pool_client = ctx.pool
+        initial = (
+            list(ctx.initial_join_nodes)
+            if ctx.initial_join_nodes is not None
+            else list(range(self.cfg.initial_nodes))
+        )
+        self.working: list[int] = list(initial)
         self.full_nodes: list[int] = []
-        self.potential: list[int] = list(
-            range(self.cfg.initial_nodes, ctx.n_potential)
+        self.potential: list[int] = (
+            []
+            if self.pool_client is not None
+            else list(range(self.cfg.initial_nodes, ctx.n_potential))
         )
         self.activated: list[int] = list(self.working)
+        #: reporter -> parked-backlog bytes from its last MemoryFull
+        #: (forwarded to the shared pool's MEMORY_DEFICIT policy)
+        self._full_deficit: dict[int, int] = {}
+        self._active_deficit = 0
 
         self.router: Router = self.strategy.make_initial_router(list(self.working))
         self._version = 0
@@ -168,6 +190,43 @@ class SchedulerProcess:
         self.potential.remove(best)
         return best
 
+    def _acquire_candidate(self, phase: str) -> Generator[Any, Any, int | None]:
+        """One expansion candidate: from the private potential pool, or —
+        in workload mode — by asking the shared pool actor.
+
+        The pool path sends a :class:`RecruitRequest` carrying the current
+        relief cycle's memory deficit and blocks for the pool's verdict.
+        Exactly one response (grant or deny) exists per request, so the
+        wait cannot leak pool messages into other dispatch sites.  On a
+        grant the node is adopted first (the workload driver resets it and
+        spawns this query's JoinProcess) so the subsequent ActivateJoin
+        finds a live actor; on a deny the caller degrades to the OOC spill
+        path, exactly as it would on private-pool exhaustion.
+        """
+        pc = self.pool_client
+        if pc is None:
+            return self._pick_candidate()
+        yield from self.ctx.send(
+            self.node, pc.node,
+            RecruitRequest(
+                query=pc.query_id, want=1, admission=False,
+                deficit_bytes=self._active_deficit, phase=phase,
+            ),
+        )
+        while True:
+            msg = yield self.node.mailbox.get()
+            if isinstance(msg, RecruitGrant) and msg.query == pc.query_id:
+                cand = msg.nodes[0]
+                pc.adopt(cand)
+                return cand
+            if isinstance(msg, RecruitDeny) and msg.query == pc.query_id:
+                self.ctx.trace("recruit_denied", "scheduler",
+                               reason=msg.reason, phase=phase)
+                self.ctx.metrics.inc("sched.recruit_denied", 1,
+                                     reason=msg.reason)
+                return None
+            self._dispatch_common(msg)
+
     def recruit_node(
         self, make_activate: Callable[[int], ActivateJoin], phase: str = "build",
         parent: int | None = None,
@@ -192,7 +251,7 @@ class SchedulerProcess:
         """
         backoff = self._recruit_timeout_s / 2.0
         while True:
-            cand = self._pick_candidate()
+            cand = yield from self._acquire_candidate(phase)
             if cand is None:
                 self.ctx.trace("pool_exhausted", "scheduler", phase=phase)
                 return None
@@ -289,6 +348,7 @@ class SchedulerProcess:
             # later (the queue is serialized), after the scheduler has
             # dequeued other messages, so the implicit cause would be wrong.
             self._full_edges[msg.node] = self.ctx.causal.cause_of("scheduler")
+            self._full_deficit[msg.node] = msg.deficit_bytes
             self._prev_round = None
         elif isinstance(msg, SourceDone):
             self._source_done[msg.relation].add(msg.source)
@@ -317,6 +377,7 @@ class SchedulerProcess:
     # ------------------------------------------------------------------
     def run(self) -> Generator[Any, Any, SchedulerOutcome]:
         ctx = self.ctx
+        self.outcome.t_start = ctx.sim.now
         # Ticker first: the initial-activation ack timeout counts its ticks.
         ctx.sim.spawn(
             _ticker(ctx, self._ticker_flag, self.cfg.effective_drain_poll,
@@ -411,6 +472,7 @@ class SchedulerProcess:
         self._prev_round = None
         t0 = self.ctx.sim.now
         self.ctx.metrics.inc("sched.relief_cycles", 1, phase="build")
+        self._active_deficit = self._full_deficit.pop(reporter, 0)
         try:
             # Re-check first: an earlier split in this queue may already
             # have relieved the reporter (round-robin pointer policies
@@ -427,6 +489,7 @@ class SchedulerProcess:
                 self.full_queue.append(reporter)
         finally:
             self.relief_active = False
+            self._active_deficit = 0
             self.ctx.metrics.set_gauge(
                 "sched.relief_latency_s", self.ctx.sim.now - t0, phase="build"
             )
@@ -603,6 +666,7 @@ class SchedulerProcess:
         self._prev_round = None
         t0 = self.ctx.sim.now
         self.ctx.metrics.inc("sched.relief_cycles", 1, phase="probe")
+        self._active_deficit = self._full_deficit.pop(reporter, 0)
         try:
             new_node = yield from self.recruit_node(
                 lambda j: ActivateJoin(j, phase="probe", output_sink=True),
@@ -623,6 +687,7 @@ class SchedulerProcess:
             yield from self.await_relief_ack(reporter)
         finally:
             self.relief_active = False
+            self._active_deficit = 0
             self.ctx.metrics.set_gauge(
                 "sched.relief_latency_s", self.ctx.sim.now - t0, phase="probe"
             )
@@ -644,7 +709,14 @@ class SchedulerProcess:
             yield from self.ctx.send(
                 self.node, self.ctx.source_node(s), Shutdown()
             )
-        for j in range(self.ctx.n_potential):
+        # Private mode shuts down the whole pool (dormant nodes just exit);
+        # workload mode only owns its granted nodes — shutting down the
+        # shared pool's dormant nodes would kill other queries' capacity.
+        if self.pool_client is None:
+            targets = list(range(self.ctx.n_potential))
+        else:
+            targets = sorted(set(self.activated) | set(self.dead_nodes))
+        for j in targets:
             yield from self.send_to_join(j, Shutdown())
         # Wait until every *known-activated* node reported.  Set inclusion,
         # not a count: a zombie recruit (timed out but actually alive) also
@@ -654,6 +726,15 @@ class SchedulerProcess:
                 lambda m: isinstance(m, FinalReport)
             )
             self.outcome.final_reports[msg.node] = msg
+        if self.pool_client is not None:
+            # Release only nodes known alive and owned: zombies (granted
+            # but never acked) and timed-out recruits stay leaked — the
+            # pool shrinks, exactly as real hardware would.
+            released = tuple(sorted(self.activated))
+            yield from self.ctx.send(
+                self.node, self.pool_client.node,
+                QueryDone(query=self.pool_client.query_id, released=released),
+            )
 
 
 def _ticker(

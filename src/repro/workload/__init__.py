@@ -1,0 +1,37 @@
+"""Multi-tenant workload engine (``repro.workload``).
+
+Runs many concurrent join queries inside one simulator against one shared
+node pool — the paper's "additional resources become available" premise
+made literal: resources are available to a query exactly when no other
+query holds them.  See docs/WORKLOADS.md for the model, the arbitration
+policies and annotated CLI output.
+
+Layout:
+
+* :mod:`.generator` — seeded arrivals (Poisson or trace) and query-mix
+  draws; deterministic under a fixed seed.
+* :mod:`.driver` — ``run_workload()``: admission via the shared
+  :class:`~repro.core.pool.ResourcePoolProcess`, one unmodified
+  single-query pipeline per query, per-query oracle validation.
+* :mod:`.results` — :class:`WorkloadResult` with latency/queueing-delay
+  percentiles, pool utilization and denial counts.
+"""
+
+from .driver import run_workload
+from .generator import (
+    QuerySpec,
+    arrival_schedule,
+    generate_workload,
+    query_run_config,
+)
+from .results import QueryStats, WorkloadResult
+
+__all__ = [
+    "QuerySpec",
+    "QueryStats",
+    "WorkloadResult",
+    "arrival_schedule",
+    "generate_workload",
+    "query_run_config",
+    "run_workload",
+]

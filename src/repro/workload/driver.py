@@ -1,0 +1,274 @@
+"""Multi-tenant workload driver: N concurrent joins, one shared cluster.
+
+``run_workload`` is the subsystem's entry point.  It builds one simulator
+holding one :class:`~repro.cluster.WorkloadCluster` (shared interconnect
+and join-node pool, per-query scheduler/source nodes), spawns the
+:class:`~repro.core.pool.ResourcePoolProcess` that owns every join node,
+and one *query runner* process per generated query.  A runner sleeps
+until its arrival time, asks the pool for the query's initial nodes
+(admission), then runs the completely unmodified single-query pipeline —
+scheduler, sources, lazily-adopted join processes — against its private
+view of the shared cluster.  Every query is still oracle-validated.
+
+Fault handling mirrors the single-query driver where it can and narrows
+where it must: link faults (drops, slowdowns) ride the shared injector
+unchanged, while crash specs are executed against the *pool* (a dormant
+shared node disappears from the free list) because in workload mode a
+dormant node has no process to interrupt — join processes exist only
+while a query holds the node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster import WorkloadCluster
+from ..config import Algorithm, WorkloadConfig
+from ..core.context import RunContext
+from ..core.driver import assemble_result, spawn_query_pipeline
+from ..core.joinnode import JoinProcess
+from ..core.messages import RecruitGrant, RecruitRequest, Shutdown
+from ..core.pool import PoolClient, PoolStats, ResourcePoolProcess
+from ..core.scheduler import SchedulerOutcome
+from ..faults import CrashSpec, FaultInjector
+from ..obs import (
+    SCHEDULER_TRACK,
+    MetricsRegistry,
+    PhaseTimeline,
+    SpanLog,
+    harvest_network,
+    harvest_nodes,
+    harvest_simulator,
+)
+from ..sim import AllOf, Simulator, Tracer
+from .generator import QuerySpec, generate_workload, query_run_config
+from .results import QueryStats, WorkloadResult
+
+__all__ = ["run_workload"]
+
+
+@dataclass
+class _QueryRecord:
+    """Mutable per-query facts the runner deposits for post-run assembly."""
+
+    arrival_s: float = 0.0
+    admitted_s: float = 0.0
+    finished_s: float = 0.0
+    ctx: RunContext | None = None
+    outcome: SchedulerOutcome | None = None
+    granted_initial: list[int] = field(default_factory=list)
+
+
+def _query_runner(
+    sim: Simulator,
+    wc: WorkloadCluster,
+    pool: ResourcePoolProcess,
+    spec: QuerySpec,
+    cfg: WorkloadConfig,
+    metrics: MetricsRegistry,
+    spans: SpanLog,
+    tracer: Tracer,
+    injector: FaultInjector | None,
+    record: _QueryRecord,
+) -> Generator[Any, Any, None]:
+    """One query's lifecycle: arrive -> admit -> pipeline -> record."""
+    qid = spec.query_id
+    if spec.arrival_s > 0:
+        yield sim.timeout(spec.arrival_s)
+    record.arrival_s = sim.now
+    view = wc.views[qid]
+    rcfg = query_run_config(cfg, spec)
+    ctx = RunContext(
+        sim, rcfg, cluster=view, metrics=metrics, spans=spans,
+        tracer=tracer, faults=injector, query=qid,
+    )
+
+    def adopt(j: int) -> None:
+        # A granted node may have served an earlier query: clear its
+        # hardware state, then bind this query's join process to it.
+        wc.reset_join_node(j)
+        jp = JoinProcess(
+            ctx, j, auto_spill=rcfg.algorithm is Algorithm.OUT_OF_CORE
+        )
+        sim.spawn(jp.run(), name=f"join{j}-q{qid}")
+
+    ctx.pool = PoolClient(node=pool.node, query_id=qid, adopt=adopt)
+    ctx.trace("query_arrival", f"query{qid}",
+              algorithm=rcfg.algorithm.value, want=rcfg.initial_nodes)
+
+    # Admission: park at the pool until the initial nodes are free.  The
+    # grant is the only message that can reach this scheduler node before
+    # the pipeline exists, so a bare mailbox get is safe.
+    yield from ctx.send(
+        view.scheduler_node, pool.node,
+        RecruitRequest(query=qid, want=rcfg.initial_nodes, admission=True),
+    )
+    msg = yield view.scheduler_node.mailbox.get()
+    if not (isinstance(msg, RecruitGrant) and msg.query == qid):
+        raise RuntimeError(
+            f"query {qid}: expected its admission RecruitGrant, got {msg!r}"
+        )
+    record.admitted_s = sim.now
+    record.granted_initial = list(msg.nodes)
+    ctx.initial_join_nodes = list(msg.nodes)
+    for j in msg.nodes:
+        adopt(j)
+    ctx.trace("query_admitted", f"query{qid}",
+              nodes=list(msg.nodes), waited=sim.now - record.arrival_s)
+
+    scheduler = spawn_query_pipeline(ctx, spawn_joins=False)
+    outcome = yield scheduler.proc
+    record.finished_s = sim.now
+    record.ctx = ctx
+    record.outcome = outcome
+    ctx.trace("query_finished", f"query{qid}",
+              latency=sim.now - record.arrival_s)
+
+
+def _crash_timer(
+    sim: Simulator, pool: ResourcePoolProcess, spec: CrashSpec
+) -> Generator[Any, Any, None]:
+    """Fail-stop a dormant pool node at its scheduled time (workload crash
+    model: the node vanishes from the free list; a held node is a traced
+    no-op — see ResourcePoolProcess.crash_node)."""
+    if spec.at_time is not None and spec.at_time > 0:
+        yield sim.timeout(spec.at_time)
+    pool.crash_node(spec.node)
+
+
+def _supervisor(
+    sim: Simulator, wc: WorkloadCluster, runners: list[Any]
+) -> Generator[Any, Any, None]:
+    """Shut the pool down once every query runner has finished."""
+    yield AllOf(sim, runners)
+    yield from wc.network.send(wc.pool_node, wc.pool_node, Shutdown())
+
+
+def run_workload(cfg: WorkloadConfig, validate: bool = True) -> WorkloadResult:
+    """Execute a multi-query workload; every query oracle-validated.
+
+    ``validate`` is per query and works exactly like ``run_join``'s: the
+    distributed match count must equal the sequential oracle on that
+    query's relations.  Shared-system invariants (byte conservation on the
+    one network) are always asserted.
+    """
+    specs = generate_workload(cfg)
+    sim = Simulator()
+    metrics = MetricsRegistry(clock=lambda: sim.now)
+    spans = SpanLog()
+    tracer = Tracer(enabled=cfg.trace, maxlen=None)
+
+    def trace(category: str, actor: str, **detail: Any) -> None:
+        tracer.emit(sim.now, category, actor, **detail)
+
+    cluster_spec = cfg.effective_cluster
+    injector: FaultInjector | None = None
+    if cfg.faults is not None and cfg.faults.active:
+        injector = FaultInjector(cfg.faults, sim, metrics, trace=trace)
+        injector.resolve_timing(cluster_spec.cost)
+
+    wc = WorkloadCluster.build(
+        sim, cluster_spec, cfg.n_queries, metrics=metrics, faults=injector
+    )
+    pool = ResourcePoolProcess(
+        sim,
+        wc.network,
+        wc.pool_node,
+        free_nodes=list(range(cluster_spec.n_potential_nodes)),
+        sched_nodes={
+            q: wc.views[q].scheduler_node for q in range(cfg.n_queries)
+        },
+        policy=cfg.policy,
+        fair_share_cap=cfg.fair_share_cap,
+        grant_timeout_s=cfg.effective_grant_timeout,
+        poll_interval=cfg.drain_poll_interval * cfg.scale,
+        memory_of=cluster_spec.memory_of,
+        metrics=metrics,
+        trace=trace,
+    )
+    pool_proc = sim.spawn(pool.run(), name="pool")
+    if injector is not None:
+        for crash in injector.plan.crashes:
+            sim.spawn(
+                _crash_timer(sim, pool, crash),
+                name=f"fault:pool-crash@{crash.at_time}",
+            )
+
+    records = [_QueryRecord() for _ in specs]
+    runners = [
+        sim.spawn(
+            _query_runner(sim, wc, pool, spec, cfg, metrics, spans, tracer,
+                          injector, record),
+            name=f"query{spec.query_id}",
+        )
+        for spec, record in zip(specs, records)
+    ]
+    sim.spawn(_supervisor(sim, wc, runners), name="workload-supervisor")
+
+    sim.run()
+
+    wc.network.assert_conserved()
+    pool_stats: PoolStats = pool_proc.value
+
+    harvest_simulator(metrics, sim)
+    harvest_network(metrics, wc.network)
+    harvest_nodes(metrics, wc.all_nodes)
+
+    results: list[Any] = []
+    query_stats: list[QueryStats] = []
+    for spec, record in zip(specs, records):
+        assert record.ctx is not None and record.outcome is not None, (
+            f"query {spec.query_id} never completed"
+        )
+        res = assemble_result(
+            record.ctx, record.outcome, validate,
+            span_track=f"{SCHEDULER_TRACK}:q{spec.query_id}",
+        )
+        results.append(res)
+        stats = QueryStats(
+            query=spec.query_id,
+            algorithm=spec.entry.algorithm.value,
+            arrival_s=record.arrival_s,
+            admitted_s=record.admitted_s,
+            finished_s=record.finished_s,
+            initial_nodes=spec.entry.initial_nodes,
+            nodes_used=res.nodes_used,
+            recruit_denials=pool_stats.denials_by_query.get(
+                spec.query_id, 0
+            ),
+            spilled_r_tuples=res.spilled_r_tuples,
+            spilled_s_tuples=res.spilled_s_tuples,
+            matches=res.matches,
+            reference_matches=res.reference_matches,
+        )
+        query_stats.append(stats)
+        metrics.set_gauge("workload.query_latency_s", stats.latency_s,
+                          query=spec.query_id)
+        metrics.set_gauge("workload.queue_delay_s", stats.queue_delay_s,
+                          query=spec.query_id)
+        metrics.inc("workload.queries", 1,
+                    algorithm=spec.entry.algorithm.value)
+    makespan = max((q.finished_s for q in query_stats), default=0.0)
+    metrics.set_gauge("workload.makespan_s", makespan)
+    metrics.close()
+
+    in_use_hist = metrics.find("pool.nodes_in_use")
+    pool_utilization = (
+        in_use_hist.time_weighted_mean() / pool.total_nodes
+        if in_use_hist is not None and pool.total_nodes
+        else 0.0
+    )
+
+    return WorkloadResult(
+        config=cfg,
+        queries=query_stats,
+        results=results,
+        pool=pool_stats.to_dict(),
+        makespan_s=makespan,
+        pool_utilization=pool_utilization,
+        metrics=metrics.snapshot(),
+        timeline=PhaseTimeline(spans.spans),
+        tracer=tracer,
+    )

@@ -1,0 +1,114 @@
+"""Seeded workload generation: arrival schedule + per-query configs.
+
+Arrivals are a Poisson process (seeded exponential inter-arrival gaps) or
+an explicit trace from :class:`~repro.config.WorkloadConfig.arrival_times`.
+Query classes are drawn from the weighted mix.  Every draw comes from its
+own ``numpy`` ``SeedSequence`` spawn key, so the three random decisions —
+arrival gaps, mix choice, per-query data seeds — are independent streams
+that are each fully determined by ``WorkloadConfig.seed``: the same seed
+always produces the identical workload, which is what makes concurrent
+chaos runs bisectable.
+
+Arrival times are *simulated seconds* and are deliberately not multiplied
+by the workload ``scale``: the operator dials the contention level
+directly against scaled query durations (see docs/WORKLOADS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import QueryMixEntry, RunConfig, WorkloadConfig, WorkloadSpec
+
+__all__ = ["QuerySpec", "arrival_schedule", "generate_workload",
+           "query_run_config"]
+
+#: SeedSequence spawn keys — one independent stream per random decision
+_ARRIVAL_KEY = 101
+_MIX_KEY = 102
+_QUERY_SEED_KEY = 103
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One generated query: who it is, when it arrives, what data it joins."""
+
+    query_id: int
+    arrival_s: float
+    entry: QueryMixEntry
+    #: per-query data seed (drives relation generation and the oracle)
+    seed: int
+
+
+def arrival_schedule(cfg: WorkloadConfig) -> tuple[float, ...]:
+    """Arrival times in simulated seconds, one per query.
+
+    With an explicit trace, the trace verbatim; otherwise cumulative sums
+    of seeded exponential gaps at ``arrival_rate_qps`` (Poisson process).
+    """
+    if cfg.arrival_times:
+        return tuple(float(t) for t in cfg.arrival_times)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=cfg.seed, spawn_key=(_ARRIVAL_KEY,))
+    )
+    gaps = rng.exponential(1.0 / cfg.arrival_rate_qps, size=cfg.n_queries)
+    return tuple(float(t) for t in np.cumsum(gaps))
+
+
+def generate_workload(cfg: WorkloadConfig) -> list[QuerySpec]:
+    """The full deterministic workload: arrivals + mix draws + data seeds."""
+    arrivals = arrival_schedule(cfg)
+    mix_rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=cfg.seed, spawn_key=(_MIX_KEY,))
+    )
+    weights = np.array([entry.weight for entry in cfg.mix], dtype=np.float64)
+    choices = mix_rng.choice(
+        len(cfg.mix), size=cfg.n_queries, p=weights / weights.sum()
+    )
+    specs = []
+    for q in range(cfg.n_queries):
+        seed = int(
+            np.random.SeedSequence(
+                entropy=cfg.seed, spawn_key=(_QUERY_SEED_KEY, q)
+            ).generate_state(1)[0]
+        )
+        specs.append(
+            QuerySpec(
+                query_id=q,
+                arrival_s=arrivals[q],
+                entry=cfg.mix[int(choices[q])],
+                seed=seed,
+            )
+        )
+    return specs
+
+
+def query_run_config(cfg: WorkloadConfig, spec: QuerySpec) -> RunConfig:
+    """The single-query :class:`RunConfig` equivalent of one workload query.
+
+    Shares the workload's cluster spec, scale, poll interval and fault
+    plan; data shape and algorithm come from the drawn mix entry, the data
+    seed from the generator — so each query joins *different* relations
+    and is validated against its own oracle.
+    """
+    entry = spec.entry
+    return RunConfig(
+        algorithm=entry.algorithm,
+        initial_nodes=entry.initial_nodes,
+        workload=WorkloadSpec(
+            r_tuples=entry.r_tuples,
+            s_tuples=entry.s_tuples,
+            tuple_bytes=entry.tuple_bytes,
+            distribution=entry.distribution,
+            gauss_mean=entry.gauss_mean,
+            gauss_sigma=entry.gauss_sigma,
+            scale=cfg.scale,
+            seed=spec.seed,
+        ),
+        cluster=cfg.cluster,
+        drain_poll_interval=cfg.drain_poll_interval,
+        trace=cfg.trace,
+        faults=cfg.faults,
+    )

@@ -8,10 +8,14 @@ from repro.config import (
     CostModel,
     Distribution,
     MTUPLES,
+    PoolPolicy,
+    QueryMixEntry,
     RunConfig,
     SplitPolicy,
+    WorkloadConfig,
     WorkloadSpec,
 )
+from repro.faults import CrashSpec, FaultPlan
 
 
 def test_algorithm_expanding_flag():
@@ -110,3 +114,77 @@ def test_distribution_enum_roundtrip():
     assert Distribution("uniform") is Distribution.UNIFORM
     assert Distribution("gaussian") is Distribution.GAUSSIAN
     assert Distribution("zipf") is Distribution.ZIPF
+
+
+def test_pool_policy_enum_values():
+    assert PoolPolicy("fifo") is PoolPolicy.FIFO
+    assert PoolPolicy("fair") is PoolPolicy.FAIR_SHARE
+    assert PoolPolicy("deficit") is PoolPolicy.MEMORY_DEFICIT
+    assert WorkloadConfig().policy is PoolPolicy.FIFO
+
+
+def test_query_mix_entry_validation():
+    with pytest.raises(ValueError):
+        QueryMixEntry(weight=0)
+    with pytest.raises(ValueError):
+        QueryMixEntry(weight=-1.5)
+    with pytest.raises(ValueError):
+        QueryMixEntry(r_tuples=0)
+    with pytest.raises(ValueError):
+        QueryMixEntry(initial_nodes=0)
+    with pytest.raises(ValueError):
+        QueryMixEntry(tuple_bytes=8)  # cannot hold the two u64 fields
+
+
+def test_workload_config_validation():
+    with pytest.raises(ValueError):
+        WorkloadConfig(n_queries=0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(arrival_rate_qps=0.0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(arrival_rate_qps=-2.0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(mix=())
+    with pytest.raises(ValueError):
+        WorkloadConfig(fair_share_cap=0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(grant_timeout_s=0.0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(grant_timeout_s=float("inf"))
+    # trace length must match the query count, entries must be >= 0
+    with pytest.raises(ValueError):
+        WorkloadConfig(n_queries=3, arrival_times=(0.0, 1.0))
+    with pytest.raises(ValueError):
+        WorkloadConfig(n_queries=2, arrival_times=(0.0, -1.0))
+    # a trace overrides the rate, so a bogus rate is then irrelevant
+    cfg = WorkloadConfig(n_queries=2, arrival_times=(0.0, 1.0),
+                         arrival_rate_qps=-1.0)
+    assert cfg.arrival_times == (0.0, 1.0)
+    # a mix entry may not want more initial nodes than the pool holds
+    with pytest.raises(ValueError):
+        WorkloadConfig(
+            mix=(QueryMixEntry(initial_nodes=9),),
+            cluster=ClusterSpec(n_potential_nodes=8),
+        )
+
+
+def test_workload_config_fault_restrictions():
+    with pytest.raises(ValueError):
+        WorkloadConfig(faults=FaultPlan(ack_drop_prob=0.05))
+    with pytest.raises(ValueError):
+        WorkloadConfig(faults=FaultPlan(
+            crashes=(CrashSpec(node=1, at_phase="build"),)
+        ))
+    # at_time crashes and link drops are the supported workload faults
+    cfg = WorkloadConfig(faults=FaultPlan(
+        drop_prob=0.01, crashes=(CrashSpec(node=1, at_time=0.5),)
+    ))
+    assert cfg.faults is not None and cfg.faults.active
+
+
+def test_workload_config_effective_grant_timeout():
+    assert WorkloadConfig(grant_timeout_s=1.25).effective_grant_timeout \
+        == pytest.approx(1.25)
+    derived = WorkloadConfig(scale=0.02, drain_poll_interval=0.010)
+    assert derived.effective_grant_timeout == pytest.approx(
+        200.0 * 0.010 * 0.02)

@@ -309,6 +309,66 @@ def test_lost_acks_force_suppressed_duplicates():
 
 
 # ----------------------------------------------------------------------
+# concurrent-workload chaos (repro.workload on the shared pool)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+def test_workload_chaos_every_query_stays_exact():
+    """Concurrent queries under link drops plus a dormant-node crash: the
+    pool shrinks, recovery retransmits, and *every* query still matches
+    its own sequential oracle — and the fault-free run's answer."""
+    from repro.config import (
+        ClusterSpec,
+        Distribution,
+        MTUPLES,
+        QueryMixEntry,
+        WorkloadConfig,
+    )
+    from repro.workload import run_workload
+
+    def wl_cfg(faults=None):
+        return WorkloadConfig(
+            n_queries=4,
+            arrival_times=(0.0, 0.05, 0.1, 0.15),
+            seed=7,
+            # Skewed keys so each join has real matches to get wrong.
+            mix=(QueryMixEntry(
+                r_tuples=MTUPLES, s_tuples=MTUPLES, initial_nodes=2,
+                distribution=Distribution.GAUSSIAN, gauss_sigma=1e-5,
+            ),),
+            cluster=ClusterSpec(n_sources=2, n_potential_nodes=8,
+                                hash_memory_bytes=50 * 1024 * 1024),
+            scale=1.0 / 50.0,
+            faults=faults,
+        )
+
+    base = run_workload(wl_cfg())
+    assert base.all_valid
+    assert any(q.matches > 0 for q in base.queries)
+
+    plan = FaultPlan(
+        seed=11,
+        drop_prob=0.02,
+        # Node 7 is still dormant at t=0.01: admissions grant
+        # best-memory-first from a uniform 8-node pool, and only q0's two
+        # nodes are out by then.
+        crashes=(CrashSpec(node=7, at_time=0.01),),
+    )
+    res = run_workload(wl_cfg(faults=plan))
+    assert res.all_valid, "every query must still match its oracle"
+    assert res.pool["crashed_nodes"] == [7]
+    assert [q.matches for q in res.queries] == [
+        q.matches for q in base.queries
+    ], "recovery must be exact, not best-effort"
+    assert counter_total(res, "faults_injected", kind="message_drop") > 0
+    # workload crashes execute at the pool, not the per-query injector
+    assert counter_total(res, "pool.node_crashes") == 1
+    assert counter_total(res, "retries_total") > 0
+    assert counter_total(res, "net.dropped_bytes") > 0
+    # the fault-free workload carries no fault accounting
+    assert counter_total(base, "faults_injected") == 0
+
+
+# ----------------------------------------------------------------------
 # conservation accounting
 # ----------------------------------------------------------------------
 def test_assert_conserved_balances_drops_and_duplicates():

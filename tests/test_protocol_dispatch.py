@@ -21,6 +21,7 @@ import pytest
 import repro.core.datasource
 import repro.core.joinnode
 import repro.core.ooc
+import repro.core.pool
 import repro.core.replicate
 import repro.core.scheduler
 import repro.core.split
@@ -35,6 +36,7 @@ DISPATCH_MODULES = (
     repro.core.split,
     repro.core.replicate,
     repro.core.ooc,
+    repro.core.pool,
 )
 
 
@@ -122,6 +124,31 @@ def test_every_message_is_exported():
         assert cls.__name__ in exported, (
             f"{cls.__name__} missing from messages.__all__"
         )
+
+
+def test_pool_protocol_has_both_ends():
+    """The workload pool protocol is dispatched on both sides of the wire.
+
+    The pool actor must consume what schedulers send it (requests, query
+    completion) and the scheduler must consume what the pool answers
+    (grants, denials); a one-sided arm would deadlock a workload run.
+    """
+    def arms(mod) -> set[str]:
+        refs: set[str] = set()
+        tree = ast.parse(textwrap.dedent(inspect.getsource(mod)))
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2):
+                second = node.args[1]
+                elts = (second.elts if isinstance(second, ast.Tuple)
+                        else [second])
+                refs.update(e.id for e in elts if isinstance(e, ast.Name))
+        return refs
+
+    assert {"RecruitRequest", "QueryDone"} <= arms(repro.core.pool)
+    assert {"RecruitGrant", "RecruitDeny"} <= arms(repro.core.scheduler)
 
 
 def test_mirror_agrees_with_static_pass():

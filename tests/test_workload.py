@@ -1,0 +1,178 @@
+"""Integration tests: the multi-tenant workload engine end to end.
+
+Every ``run_workload`` call already oracle-validates each query and
+asserts byte conservation on the one shared network; these tests add the
+workload-level contracts on top — admission accounting, contention
+degrading to spill (never to a wrong answer), policy behaviour, node
+reuse, and end-to-end determinism.
+"""
+
+import pytest
+
+from repro.config import (
+    ClusterSpec,
+    MTUPLES,
+    PoolPolicy,
+    QueryMixEntry,
+    WorkloadConfig,
+)
+from repro.workload import run_workload
+
+#: ~1 MB of hash memory per node once the 1/50 scale is applied — small
+#: enough that a 2-node query must recruit (or spill) to finish its build.
+SCARCE_MEMORY = 50 * 1024 * 1024
+#: ~4 MB per node post-scale: two initial nodes hold a whole 2M-tuple
+#: build side, so nobody needs to recruit at all.
+AMPLE_MEMORY = 200 * 1024 * 1024
+
+
+def wl_config(n_queries=4, pool=8, memory=None, policy=PoolPolicy.FIFO,
+              arrival_gap=0.05, **kw):
+    kw.setdefault("mix", (QueryMixEntry(r_tuples=2 * MTUPLES,
+                                        s_tuples=2 * MTUPLES,
+                                        initial_nodes=2),))
+    kw.setdefault("scale", 1.0 / 50.0)
+    kw.setdefault("seed", 7)
+    cluster = ClusterSpec(
+        n_sources=2,
+        n_potential_nodes=pool,
+        **({"hash_memory_bytes": memory} if memory else {}),
+    )
+    return WorkloadConfig(
+        n_queries=n_queries,
+        arrival_times=tuple(arrival_gap * q for q in range(n_queries)),
+        policy=policy,
+        cluster=cluster,
+        **kw,
+    )
+
+
+def metric_value(res, name, **labels):
+    for inst in res.metrics:
+        if inst["name"] == name and all(
+            inst["labels"].get(k) == v for k, v in labels.items()
+        ):
+            return inst.get("value")
+    return None
+
+
+# ----------------------------------------------------------------------
+# the headline contract: >= 4 concurrent queries, every one oracle-valid
+# ----------------------------------------------------------------------
+def test_concurrent_queries_all_validate():
+    res = run_workload(wl_config(n_queries=4, pool=8, memory=AMPLE_MEMORY))
+    assert res.n_queries == 4
+    assert res.all_valid
+    assert res.pool["admissions"] == 4
+    assert res.pool["leaked_nodes"] == []
+    assert res.total_denials == 0 and not res.degraded_queries
+    assert 0.0 < res.pool_utilization <= 1.0
+    for q in res.queries:
+        assert q.latency_s == pytest.approx(q.queue_delay_s + q.run_s)
+        assert q.finished_s <= res.makespan_s
+        assert q.nodes_used >= q.initial_nodes
+    # lifecycle metrics landed in the shared registry
+    assert metric_value(res, "workload.makespan_s") is not None \
+        or any(i["name"] == "workload.makespan_s" for i in res.metrics)
+    assert sum(
+        i["value"] for i in res.metrics if i["name"] == "workload.queries"
+    ) == 4
+
+
+def test_contention_denies_recruits_and_degrades_to_spill():
+    """Demand exceeds supply: recruits are denied, the denied queries fall
+    back to the out-of-core spill path, and every answer stays correct."""
+    res = run_workload(wl_config(n_queries=4, pool=6, memory=SCARCE_MEMORY))
+    assert res.all_valid
+    assert res.total_denials > 0
+    assert res.degraded_queries, "a denied query must spill, not error"
+    # denials are observable in the shared metrics registry, and the
+    # scheduler-side count of degradations matches the pool's ledger
+    assert sum(
+        i["value"] for i in res.metrics
+        if i["name"] == "pool.recruit_denials"
+    ) == res.total_denials
+    assert sum(
+        i["value"] for i in res.metrics
+        if i["name"] == "sched.recruit_denied"
+    ) == res.total_denials
+    # per-query denial attribution adds up too
+    assert sum(q.recruit_denials for q in res.queries) == res.total_denials
+    # a degraded query spilled to disk and still matched its oracle
+    degraded = res.queries[res.degraded_queries[0]]
+    assert degraded.spilled_r_tuples > 0 or degraded.spilled_s_tuples > 0
+    assert res.results[degraded.query].is_valid
+
+
+def test_pool_nodes_are_reused_across_queries():
+    """With arrivals spread out, later queries run on nodes earlier ones
+    returned: total grants exceed the pool size, which is only possible
+    through release-and-reuse, and reuse never corrupts an answer."""
+    res = run_workload(
+        wl_config(n_queries=6, pool=4, arrival_gap=0.6,
+                  memory=AMPLE_MEMORY)
+    )
+    assert res.all_valid
+    assert res.pool["grants"] > 4
+    released = metric_value(res, "pool.releases")
+    assert released is not None and released >= res.pool["grants"] - 4
+
+
+def test_fair_share_policy_caps_expansion():
+    cfg = wl_config(n_queries=4, pool=6, memory=SCARCE_MEMORY,
+                    policy=PoolPolicy.FAIR_SHARE, fair_share_cap=1)
+    res = run_workload(cfg)
+    assert res.all_valid
+    assert res.total_denials > 0
+    assert "fair_share_cap" in res.pool["denials_by_reason"]
+    # no query ever held more than admission + cap nodes
+    for q in res.queries:
+        assert q.nodes_used <= q.initial_nodes + 1
+
+
+def test_memory_deficit_policy_runs_clean():
+    res = run_workload(
+        wl_config(n_queries=4, pool=6, memory=SCARCE_MEMORY,
+                  policy=PoolPolicy.MEMORY_DEFICIT)
+    )
+    assert res.all_valid
+    assert res.pool["requests"] > res.pool["admissions"], \
+        "scarce memory must force expansion recruits"
+
+
+def test_workload_is_deterministic_end_to_end():
+    cfg = wl_config(n_queries=4, pool=6, memory=SCARCE_MEMORY)
+    a, b = run_workload(cfg), run_workload(cfg)
+    assert a.makespan_s == b.makespan_s
+    assert [q.to_dict() for q in a.queries] == [
+        q.to_dict() for q in b.queries
+    ]
+    assert a.pool == b.pool
+
+
+def test_poisson_arrivals_run_to_completion():
+    cfg = WorkloadConfig(
+        n_queries=3,
+        arrival_rate_qps=2.0,
+        seed=11,
+        mix=(
+            QueryMixEntry(weight=2, r_tuples=MTUPLES, s_tuples=MTUPLES,
+                          initial_nodes=2),
+            QueryMixEntry(weight=1, r_tuples=2 * MTUPLES,
+                          s_tuples=2 * MTUPLES, initial_nodes=2),
+        ),
+        cluster=ClusterSpec(n_sources=2, n_potential_nodes=8),
+        scale=1.0 / 100.0,
+    )
+    res = run_workload(cfg)
+    assert res.all_valid
+    assert res.makespan_s >= max(q.arrival_s for q in res.queries)
+    # arrivals honoured: nobody was admitted before arriving
+    for q in res.queries:
+        assert q.admitted_s >= q.arrival_s
+
+
+def test_per_query_span_tracks_are_separate():
+    res = run_workload(wl_config(n_queries=2, pool=8))
+    tracks = {s.track for s in res.timeline.spans}
+    assert "scheduler:q0" in tracks and "scheduler:q1" in tracks

@@ -1,0 +1,81 @@
+"""Property-based tests for the workload generator (hypothesis).
+
+The generator is the workload engine's only stochastic component, so its
+determinism carries the whole subsystem's: same seed, same schedule, same
+query classes, same per-query data seeds — and therefore the same
+simulated run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Algorithm, QueryMixEntry, WorkloadConfig
+from repro.workload import arrival_schedule, generate_workload
+
+MIXES = st.lists(
+    st.tuples(
+        st.floats(0.1, 10.0, allow_nan=False),
+        st.sampled_from(list(Algorithm)),
+        st.integers(1, 4),
+    ),
+    min_size=1,
+    max_size=4,
+).map(lambda entries: tuple(
+    QueryMixEntry(weight=w, algorithm=a, initial_nodes=k)
+    for w, a, k in entries
+))
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 32),
+    rate=st.floats(0.01, 100.0, allow_nan=False),
+)
+@settings(max_examples=150, deadline=None)
+def test_poisson_arrivals_are_sorted_and_non_negative(seed, n, rate):
+    cfg = WorkloadConfig(n_queries=n, arrival_rate_qps=rate, seed=seed)
+    times = arrival_schedule(cfg)
+    assert len(times) == n
+    assert all(t >= 0 for t in times)
+    # cumulative sums of non-negative gaps: never decreasing
+    assert all(a <= b for a, b in zip(times, times[1:]))
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 16),
+    rate=st.floats(0.01, 50.0, allow_nan=False),
+    mix=MIXES,
+)
+@settings(max_examples=100, deadline=None)
+def test_same_seed_reproduces_the_identical_workload(seed, n, rate, mix):
+    cfg = WorkloadConfig(n_queries=n, arrival_rate_qps=rate, seed=seed,
+                         mix=mix)
+    first = generate_workload(cfg)
+    second = generate_workload(cfg)
+    assert first == second  # QuerySpec is a frozen dataclass: deep equality
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 16),
+    rate=st.floats(0.01, 50.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_different_seeds_give_independent_data_seeds(seed, n, rate):
+    """Per-query data seeds are distinct: two queries of the same class
+    must not join byte-identical relations."""
+    cfg = WorkloadConfig(n_queries=n, arrival_rate_qps=rate, seed=seed)
+    specs = generate_workload(cfg)
+    assert len({s.seed for s in specs}) == len(specs)
+    assert [s.query_id for s in specs] == list(range(n))
+
+
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_explicit_trace_is_used_verbatim(seed, n):
+    trace = tuple(0.25 * i for i in range(n))
+    cfg = WorkloadConfig(n_queries=n, arrival_times=trace, seed=seed)
+    assert arrival_schedule(cfg) == trace
+    specs = generate_workload(cfg)
+    assert tuple(s.arrival_s for s in specs) == trace
