@@ -108,13 +108,28 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
                         "(sender retransmits; overrides the plan's value)")
     p.add_argument("--crash-node", action="append", default=[],
                    metavar="N[@T|@phase:NAME]",
-                   help="fail-stop a dormant pool node: pool index, "
-                        "optionally at sim time T or on phase entry "
-                        "(build/reshuffle/probe/ooc); repeatable")
+                   help="fail-stop a pool node: pool index, optionally at "
+                        "sim time T or on phase entry (build/reshuffle/"
+                        "probe/ooc); repeatable.  Crashing a *working* node "
+                        "requires the membership layer (--membership or any "
+                        "control-plane knob), which recovers its hash range")
+    p.add_argument("--membership", action="store_true",
+                   help="arm the control-plane fault-tolerance layer "
+                        "(heartbeat failure detector + standby scheduler; "
+                        "see docs/FAULTS.md)")
+    p.add_argument("--heartbeat-interval", type=float, default=None,
+                   metavar="S",
+                   help="heartbeat period in simulated seconds (implies "
+                        "--membership; suspect/confirm timeouts derive "
+                        "from it unless pinned in the fault plan)")
+    p.add_argument("--kill-scheduler-at", type=float, default=None,
+                   metavar="T",
+                   help="fail-stop the primary scheduler at sim time T "
+                        "(implies --membership; the standby takes over)")
 
 
 def _faults(args: argparse.Namespace) -> FaultPlan | None:
-    """Fold --fault-plan / --drop-prob / --crash-node into one plan.
+    """Fold the fault CLI flags into one plan.
 
     Returns ``None`` when no fault flag was given, which keeps the run on
     the exact fault-free code path (no injector is constructed at all).
@@ -122,11 +137,40 @@ def _faults(args: argparse.Namespace) -> FaultPlan | None:
     plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
     if args.drop_prob is not None:
         plan = replace(plan or FaultPlan(), drop_prob=args.drop_prob)
+    if args.membership:
+        plan = replace(plan or FaultPlan(), membership=True)
+    if args.heartbeat_interval is not None:
+        plan = replace(plan or FaultPlan(),
+                       heartbeat_interval_s=args.heartbeat_interval)
+    if args.kill_scheduler_at is not None:
+        plan = replace(plan or FaultPlan(),
+                       kill_scheduler_at=args.kill_scheduler_at)
     if args.crash_node:
         plan = (plan or FaultPlan()).with_crashes(
             *crash_specs_from_cli(args.crash_node)
         )
     return plan
+
+
+def _parse_arrival_times(text: str | None) -> tuple[float, ...]:
+    """Parse ``--arrival-times``: comma-separated floats, whitespace and
+    empty segments (e.g. a trailing comma) tolerated; a non-numeric
+    segment raises a ValueError that names the flag."""
+    if not text:
+        return ()
+    times = []
+    for segment in text.split(","):
+        segment = segment.strip()
+        if not segment:
+            continue
+        try:
+            times.append(float(segment))
+        except ValueError:
+            raise ValueError(
+                f"--arrival-times: {segment!r} is not a number (expected "
+                f"a comma-separated list like 1.0,2.5,4.0)"
+            ) from None
+    return tuple(times)
 
 
 def _workload(args: argparse.Namespace) -> WorkloadSpec:
@@ -390,6 +434,13 @@ def _parse_mix_entry(text: str) -> QueryMixEntry:
 def cmd_workload(args: argparse.Namespace) -> int:
     from .workload import run_workload
 
+    plan = _faults(args)
+    if plan is not None and plan.membership_active:
+        print("workload: the control-plane fault-tolerance layer "
+              "(--membership / --heartbeat-interval / --kill-scheduler-at) "
+              "is single-query only; see docs/FAULTS.md",
+              file=sys.stderr)
+        return 2
     try:
         mix = tuple(_parse_mix_entry(m) for m in args.mix) if args.mix else (
             QueryMixEntry(initial_nodes=2),
@@ -397,9 +448,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         cfg = WorkloadConfig(
             n_queries=args.queries,
             arrival_rate_qps=args.arrival_rate,
-            arrival_times=tuple(
-                float(t) for t in args.arrival_times.split(",")
-            ) if args.arrival_times else (),
+            arrival_times=_parse_arrival_times(args.arrival_times),
             seed=args.seed,
             mix=mix,
             policy=PoolPolicy(args.policy),
@@ -413,7 +462,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
             ),
             scale=args.scale,
             trace=args.trace,
-            faults=_faults(args),
+            faults=plan,
         )
     except ValueError as exc:
         print(f"workload: {exc}", file=sys.stderr)

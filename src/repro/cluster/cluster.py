@@ -48,6 +48,10 @@ class Cluster:
     scheduler_node: Node
     source_nodes: list[Node]
     join_nodes: list[Node] = field(default_factory=list)
+    #: standby scheduler machine (control-plane fault tolerance); only
+    #: built when the fault plan arms the membership layer, so fault-free
+    #: topology — node ids, metric labels — is unchanged
+    backup_node: Node | None = None
 
     @classmethod
     def build(
@@ -84,6 +88,13 @@ class Cluster:
             )
             next_id += 1
 
+        backup_node = None
+        if faults is not None and faults.plan.membership_active:
+            # Appended after the join pool so every pre-existing global
+            # node id is unchanged whether or not the backup exists.
+            backup_node = Node(sim, next_id, "sched-backup", spec.cost)
+            next_id += 1
+
         cluster = cls(
             sim=sim,
             spec=spec,
@@ -91,6 +102,7 @@ class Cluster:
             scheduler_node=scheduler_node,
             source_nodes=source_nodes,
             join_nodes=join_nodes,
+            backup_node=backup_node,
         )
         if metrics is not None:
             for node in cluster.all_nodes:
@@ -103,7 +115,10 @@ class Cluster:
 
     @property
     def all_nodes(self) -> list[Node]:
-        return [self.scheduler_node, *self.source_nodes, *self.join_nodes]
+        nodes = [self.scheduler_node, *self.source_nodes, *self.join_nodes]
+        if self.backup_node is not None:
+            nodes.append(self.backup_node)
+        return nodes
 
 
 @dataclass

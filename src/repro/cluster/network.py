@@ -112,7 +112,8 @@ class Network:
     # sending
     # ------------------------------------------------------------------
     def send(self, src: Node, dst: Node, message: Wireable,
-             parent: int | None = None) -> Generator[Any, Any, None]:
+             parent: int | None = None,
+             best_effort: bool = False) -> Generator[Any, Any, None]:
         """Send ``message`` from ``src`` to ``dst`` (yield-from in a process).
 
         Returns once the message has cleared both NICs (flow control: a
@@ -129,6 +130,12 @@ class Network:
         lost-ack retransmission as a suppressed duplicate (the payload is
         delivered to the mailbox exactly once either way).  See the module
         docstring for the full recovery semantics.
+
+        ``best_effort=True`` (heartbeats) sends exactly one copy and never
+        waits for an ack: a drop verdict simply loses the message — which
+        is the point, because a failure detector built on a reliable
+        transport would never observe the faults it exists to detect.
+        Byte conservation still holds (the loss lands in ``dropped_*``).
         """
         nbytes = message.nbytes
         if nbytes < 0:
@@ -146,64 +153,98 @@ class Network:
             edge = self.causality.on_send(
                 src.name, dst.name, message, self.sim.now, parent
             )
-        yield from src.cpu.use(self.cost.net_per_message_cpu)
-        if message.kind == "data":
-            # Receive-window credit: held until the receiving process
-            # retires the chunk.  Acquired first — even for loopback
-            # delivery — because the receiver releases one credit per
-            # retired data chunk unconditionally; and before any link
-            # (TCP checks the window before transmitting) so that links
-            # are only ever held for bounded wire/latency times — holding
-            # TX while waiting on a credit deadlocks two nodes that
-            # stream at each other while their control replies queue
-            # behind the jammed TX (observed in the reshuffle step).
-            # One credit covers the logical message across every
-            # retransmission attempt (TCP's window tracks sequence space,
-            # not wire copies), so duplicates cannot leak credits.
-            yield dst.recv_credits.acquire()
-        faults = self.faults
-        if faults is None or not faults.links_active or src is dst:
-            self.sent_bytes[key] += nbytes
-            yield from self._transmit(src, dst, nbytes)
-            self._spawn_deliver(src, dst, message, nbytes, key, edge)
-            return
-        # Reliable transport: transmit / await ack / back off and retry.
-        attempt = 0
-        delivered = False
-        while True:
-            self.sent_bytes[key] += nbytes
-            yield from self._transmit(src, dst, nbytes)
-            if faults.roll_drop(src.node_id, dst.node_id):
-                self.dropped_bytes[key] += nbytes
-                self.dropped_messages[message.kind] += 1
-                lost = True
-            else:
-                if delivered:
-                    self.duplicate_bytes[key] += nbytes
-                    self.duplicate_messages[message.kind] += 1
+        # A fail-stop interrupt (crashed sender) can land on any yield in
+        # here; the try/finally keeps the conservation books exact in that
+        # case: an attempt whose verdict never resolved is charged as
+        # dropped (the sender's NIC died mid-transmission) and an
+        # undelivered logical message leaves the in-flight count.
+        delivered = False      # a copy was handed to _spawn_deliver
+        attempt_open = False   # bytes charged to sent_* with no verdict yet
+        try:
+            yield from src.cpu.use(self.cost.net_per_message_cpu)
+            if message.kind == "data":
+                # Receive-window credit: held until the receiving process
+                # retires the chunk.  Acquired first — even for loopback
+                # delivery — because the receiver releases one credit per
+                # retired data chunk unconditionally; and before any link
+                # (TCP checks the window before transmitting) so that links
+                # are only ever held for bounded wire/latency times — holding
+                # TX while waiting on a credit deadlocks two nodes that
+                # stream at each other while their control replies queue
+                # behind the jammed TX (observed in the reshuffle step).
+                # One credit covers the logical message across every
+                # retransmission attempt (TCP's window tracks sequence space,
+                # not wire copies), so duplicates cannot leak credits.
+                # grab(), not acquire(): a sender crashed while queued for
+                # the window must withdraw its request, or the receiver's
+                # next credit release is handed to the corpse and the
+                # window shrinks by one forever.
+                yield from dst.recv_credits.grab()
+            faults = self.faults
+            if faults is None or not faults.links_active or src is dst:
+                attempt_open = True
+                self.sent_bytes[key] += nbytes
+                yield from self._transmit(src, dst, nbytes)
+                attempt_open = False
+                self._spawn_deliver(src, dst, message, nbytes, key, edge)
+                delivered = True
+                return
+            if best_effort:
+                attempt_open = True
+                self.sent_bytes[key] += nbytes
+                yield from self._transmit(src, dst, nbytes)
+                attempt_open = False
+                if faults.roll_drop(src.node_id, dst.node_id):
+                    self.dropped_bytes[key] += nbytes
+                    self.dropped_messages[message.kind] += 1
                 else:
                     self._spawn_deliver(src, dst, message, nbytes, key, edge)
                     delivered = True
-                lost = faults.roll_ack_drop(src.node_id, dst.node_id)
-            if not lost:
-                # Cumulative ack propagates back (control-sized, modelled
-                # as pure propagation delay on the reverse path).
-                yield self.sim.timeout(self.cost.net_latency)
                 return
-            attempt += 1
-            if attempt >= faults.max_attempts:
-                raise UnrecoverableFaultError(
-                    f"message {src.name}->{dst.name} ({message.kind}, "
-                    f"{nbytes} B) exhausted {faults.max_attempts} "
-                    "transmission attempts; the configured drop "
-                    "probability is beyond the transport's recovery "
-                    "envelope (raise max_attempts or lower drop_prob)"
-                )
-            self.retransmissions += 1
-            faults.count_retry(message.kind)
-            if edge is not None:
-                self.causality.on_attempt(edge)
-            yield self.sim.timeout(faults.rto(attempt))
+            # Reliable transport: transmit / await ack / back off and retry.
+            attempt = 0
+            while True:
+                attempt_open = True
+                self.sent_bytes[key] += nbytes
+                yield from self._transmit(src, dst, nbytes)
+                attempt_open = False
+                if faults.roll_drop(src.node_id, dst.node_id):
+                    self.dropped_bytes[key] += nbytes
+                    self.dropped_messages[message.kind] += 1
+                    lost = True
+                else:
+                    if delivered:
+                        self.duplicate_bytes[key] += nbytes
+                        self.duplicate_messages[message.kind] += 1
+                    else:
+                        self._spawn_deliver(src, dst, message, nbytes, key, edge)
+                        delivered = True
+                    lost = faults.roll_ack_drop(src.node_id, dst.node_id)
+                if not lost:
+                    # Cumulative ack propagates back (control-sized, modelled
+                    # as pure propagation delay on the reverse path).
+                    yield self.sim.timeout(self.cost.net_latency)
+                    return
+                attempt += 1
+                if attempt >= faults.max_attempts:
+                    raise UnrecoverableFaultError(
+                        f"message {src.name}->{dst.name} ({message.kind}, "
+                        f"{nbytes} B) exhausted {faults.max_attempts} "
+                        "transmission attempts; the configured drop "
+                        "probability is beyond the transport's recovery "
+                        "envelope (raise max_attempts or lower drop_prob)"
+                    )
+                self.retransmissions += 1
+                faults.count_retry(message.kind)
+                if edge is not None:
+                    self.causality.on_attempt(edge)
+                yield self.sim.timeout(faults.rto(attempt))
+        finally:
+            if attempt_open:
+                self.dropped_bytes[key] += nbytes
+                self.dropped_messages[message.kind] += 1
+            if not delivered:
+                self._in_flight -= 1
 
     def _transmit(self, src: Node, dst: Node, nbytes: int) -> Generator[Any, Any, None]:
         """Clock one copy of the payload through the interconnect."""
@@ -214,18 +255,22 @@ class Network:
             wire *= self.faults.slowdown_factor(
                 src.node_id, dst.node_id, self.sim.now
             )
+        # grab(), not acquire(), throughout: a crashed process abandoned
+        # mid-wait must withdraw its queued request, or the next release
+        # grants the link to the corpse — jamming the port forever (every
+        # later sender queues behind a slot nobody will ever release).
         if self._hub is not None:
-            yield self._hub.acquire()
+            yield from self._hub.grab()
             try:
                 yield self.sim.timeout(self.cost.net_latency + wire)
                 self._hub.busy_time += wire
             finally:
                 self._hub.release()
         else:
-            yield src.tx.acquire()
+            yield from src.tx.grab()
             try:
                 yield self.sim.timeout(self.cost.net_latency)
-                yield dst.rx.acquire()
+                yield from dst.rx.grab()
                 try:
                     yield self.sim.timeout(wire)
                     src.tx.busy_time += wire

@@ -116,7 +116,12 @@ class RunContext:
             aliases[node.name] = f"src{s}"
         for j, node in enumerate(self.cluster.join_nodes):
             aliases[node.name] = f"join{j}"
+        if getattr(self.cluster, "backup_node", None) is not None:
+            aliases[self.cluster.backup_node.name] = "backup"
         self.causal = CausalLog(aliases)
+        #: control-plane failover: when the backup takes over, every actor
+        #: addressing "the scheduler" must follow it (see set_scheduler_node)
+        self._scheduler_override: Node | None = None
         if not shared:
             self.cluster.network.causality = self.causal
             for node in (
@@ -133,7 +138,24 @@ class RunContext:
     # ------------------------------------------------------------------
     @property
     def scheduler_node(self) -> Node:
-        return self.cluster.scheduler_node
+        return self._scheduler_override or self.cluster.scheduler_node
+
+    def set_scheduler_node(self, node: Node) -> None:
+        """Repoint "the scheduler" after a backup takeover.
+
+        Actors hold no cached copy of the scheduler address — every send
+        resolves through this property — so flipping the override is the
+        whole routing side of a failover.  Messages already in flight to
+        the dead primary are absorbed by its mailbox (delivery completes
+        regardless of receiver liveness, keeping byte conservation exact);
+        the SchedulerFailover broadcast makes senders re-announce anything
+        the primary may have taken to its grave.
+        """
+        self._scheduler_override = node
+
+    @property
+    def backup_node(self) -> Node | None:
+        return getattr(self.cluster, "backup_node", None)
 
     def source_node(self, s: int) -> Node:
         return self.cluster.source_nodes[s]
@@ -154,7 +176,8 @@ class RunContext:
     # messaging
     # ------------------------------------------------------------------
     def send(self, src: Node, dst: Node, msg: Any,
-             parent: int | None = None) -> Generator[Any, Any, None]:
+             parent: int | None = None,
+             best_effort: bool = False) -> Generator[Any, Any, None]:
         """Send ``msg`` over the network, recording comm statistics.
 
         Data chunks are stamped with a run-unique ``transfer_seq`` here —
@@ -180,7 +203,9 @@ class RunContext:
         self.comm.bytes_by_kind[msg.kind] = (
             self.comm.bytes_by_kind.get(msg.kind, 0) + msg.nbytes
         )
-        yield from self.cluster.network.send(src, dst, msg, parent=parent)
+        yield from self.cluster.network.send(
+            src, dst, msg, parent=parent, best_effort=best_effort
+        )
 
     def trace(self, category: str, actor: str, **detail: Any) -> None:
         self.tracer.emit(self.sim.now, category, actor, **detail)

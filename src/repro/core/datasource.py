@@ -11,6 +11,18 @@ the paper's "data sources update their local list of working join nodes".
 In the probe phase a tuple whose range is replicated is sent to *every*
 replica (paper §4.2.2) — the source counts the extra copies, which is the
 probe-side overhead of the replication-based algorithm.
+
+Crash recovery (``repro.core.membership``) adds a replay path: relation
+streams are deterministic (seeded per source), so a source can re-generate
+any prefix of its stream.  ``batches_done`` is the replay cursor — when a
+:class:`ReplayOrder` arrives, the source re-generates batches ``[0,
+cursor)``, partitions them under the routing table *carried by the order*
+and re-streams only the recovery target's share.  The order doubles as the
+route update for the takeover table: installing the table and starting
+the replay happen in one atomic step at a batch boundary, so no live chunk
+can ever be routed to the target for a tuple the replay also covers.
+Replay traffic is accounted separately (:class:`ReplayDone`) because the
+scheduler's drain arithmetic fences the dead node's deliveries.
 """
 
 from __future__ import annotations
@@ -26,7 +38,10 @@ from .context import RunContext
 from .messages import (
     DataChunk,
     Hop,
+    ReplayDone,
+    ReplayOrder,
     RouteUpdate,
+    SchedulerFailover,
     Shutdown,
     SourceDone,
     StartProbe,
@@ -97,6 +112,16 @@ class DataSourceProcess:
         self.chunks_sent: dict[str, dict[int, int]] = {"R": {}, "S": {}}
         self.tuples_sent: dict[str, dict[int, int]] = {"R": {}, "S": {}}
         self.dup_tuples = 0
+        # -- crash-recovery state ---------------------------------------
+        #: replay cursor: batches of each relation fully routed so far
+        self.batches_done: dict[str, int] = {"R": 0, "S": 0}
+        #: completed replays by (recovery_id, relation) — replays are
+        #: idempotent: a re-driven order re-sends the stored receipt
+        self._replays_done: dict[tuple[int, str], ReplayDone] = {}
+        self._pending_replays: list[ReplayOrder] = []
+        self._done_relations: list[str] = []
+        self._reannounce = False
+        self._probing = False
 
     # ------------------------------------------------------------------
     def run(self) -> Generator[Any, Any, None]:
@@ -110,7 +135,9 @@ class DataSourceProcess:
 
         # ---- wait for the probe signal --------------------------------
         probe_router = yield from self._await_start_probe()
-        self.router = probe_router
+        if probe_router.version >= self.router.version:
+            self.router = probe_router
+        self._probing = True
 
         # ---- probe phase: stream S ------------------------------------
         s_stream = RelationStream(wl, "S", ctx.n_sources, self.index)
@@ -122,6 +149,15 @@ class DataSourceProcess:
             msg = yield self.node.mailbox.get()
             if isinstance(msg, Shutdown):
                 return
+            if isinstance(msg, RouteUpdate):
+                if msg.router.version > self.router.version:
+                    self.router = msg.router
+            elif isinstance(msg, ReplayOrder):
+                yield from self._execute_replay(msg, buffers=None)
+            elif isinstance(msg, SchedulerFailover):
+                yield from self._announce_to_scheduler()
+            # stray duplicates (e.g. a re-broadcast StartProbe after a
+            # scheduler failover) are absorbed silently
 
     # ------------------------------------------------------------------
     def _stream_relation(
@@ -142,15 +178,18 @@ class DataSourceProcess:
                 yield from self.node.compute_per_tuple(
                     cost.cpu_generate_tuple, batch.size
                 )
-            if self._apply_route_updates() and buffers.total_buffered:
+            if self._absorb_control() and buffers.total_buffered:
                 # Routing changed: re-partition unsent buffered tuples.
                 pool = buffers.drain_everything()
                 yield from self._route_into(buffers, pool, relation, probe)
             yield from self._route_into(buffers, batch, relation, probe)
+            self.batches_done[relation] += 1
+            yield from self._drain_control(buffers)
             yield from self._flush_full(buffers, relation)
 
         # Relation exhausted: flush every partial buffer.
-        self._apply_route_updates()
+        self._absorb_control()
+        yield from self._drain_control(buffers)
         for dest in buffers.destinations():
             values = buffers.pop_all(dest)
             if values is not None:
@@ -201,19 +240,37 @@ class DataSourceProcess:
         yield from ctx.send(self.node, ctx.join_node(dest), msg)
 
     # ------------------------------------------------------------------
-    def _apply_route_updates(self) -> bool:
-        """Drain pending RouteUpdates; keep the newest. Returns True if the
-        routing table changed."""
+    def _absorb_control(self) -> bool:
+        """Drain pending control messages at a batch boundary.
+
+        RouteUpdates keep the newest table; ReplayOrders queue for
+        :meth:`_drain_control` (their sends must run in generator
+        context); a SchedulerFailover flags a full re-announcement of
+        everything the dead primary took to its grave.  Returns True if
+        the routing table changed."""
         changed = False
         for msg in self.node.mailbox.drain():
             if isinstance(msg, RouteUpdate):
                 if msg.router.version > self.router.version:
                     self.router = msg.router
                     changed = True
+            elif isinstance(msg, ReplayOrder):
+                self._pending_replays.append(msg)
+            elif isinstance(msg, SchedulerFailover):
+                self._reannounce = True
             elif isinstance(msg, StartProbe):
                 # Cannot happen before SourceDone; tolerate by re-queueing.
                 self.node.mailbox.put(msg)
         return changed
+
+    def _drain_control(self, buffers: _Buffers) -> Generator[Any, Any, None]:
+        """Act on control collected by :meth:`_absorb_control`."""
+        if self._reannounce:
+            self._reannounce = False
+            yield from self._announce_to_scheduler()
+        while self._pending_replays:
+            order = self._pending_replays.pop(0)
+            yield from self._execute_replay(order, buffers=buffers)
 
     def _await_start_probe(self) -> Generator[Any, Any, Router]:
         while True:
@@ -222,11 +279,20 @@ class DataSourceProcess:
                 assert msg.router is not None, "sources need the probe router"
                 return msg.router
             # stale build-phase RouteUpdates are harmless here
-            if not isinstance(msg, RouteUpdate):
+            if isinstance(msg, RouteUpdate):
+                if msg.router.version > self.router.version:
+                    self.router = msg.router
+            elif isinstance(msg, ReplayOrder):
+                yield from self._execute_replay(msg, buffers=None)
+            elif isinstance(msg, SchedulerFailover):
+                yield from self._announce_to_scheduler()
+            else:
                 raise RuntimeError(f"source {self.index} got {msg!r} pre-probe")
 
     def _report_done(self, relation: str) -> Generator[Any, Any, None]:
         ctx = self.ctx
+        if relation not in self._done_relations:
+            self._done_relations.append(relation)
         done = SourceDone(
             source=self.index,
             relation=relation,
@@ -237,3 +303,160 @@ class DataSourceProcess:
         ctx.trace("source_done", f"src{self.index}", relation=relation,
                   chunks=sum(done.chunks_sent.values()))
         yield from ctx.send(self.node, ctx.scheduler_node, done)
+
+    def _announce_to_scheduler(self) -> Generator[Any, Any, None]:
+        """A standby took over: re-send everything the old primary knew.
+
+        SourceDone and ReplayDone are idempotent at the scheduler (keyed
+        on source / recovery id), so re-announcing is always safe."""
+        self.ctx.trace("source_reannounce", f"src{self.index}")
+        for relation in self._done_relations:
+            yield from self._report_done(relation)
+        for done in self._replays_done.values():
+            yield from self.ctx.send(self.node, self.ctx.scheduler_node, done)
+
+    # ------------------------------------------------------------------
+    # crash-recovery replay
+    # ------------------------------------------------------------------
+    def _execute_replay(
+        self, order: ReplayOrder, buffers: _Buffers | None
+    ) -> Generator[Any, Any, None]:
+        """Re-stream the recovery target's share of this source's prefix.
+
+        Idempotent: a repeated order (standby re-drive after a scheduler
+        failover) re-sends the stored receipt without re-streaming."""
+        ctx = self.ctx
+        key = (order.recovery_id, order.relation)
+        done = self._replays_done.get(key)
+        if done is None:
+            limit = self.batches_done[order.relation]
+            # The order doubles as the takeover route update — except for
+            # a build-side (R) replay while this source streams S, where
+            # the scheduler flips the live probe table separately only
+            # after the target finishes rebuilding.
+            install = order.router is not None and not (
+                order.relation == "R" and self._probing
+            )
+            if (install and order.router is not None
+                    and order.router.version > self.router.version):
+                self.router = order.router
+            if install and buffers is not None and buffers.total_buffered:
+                # Buffered tuples the replay re-covers must not also ship
+                # live, or the target would see them twice.
+                pool = buffers.drain_everything()
+                yield from self._requeue_excluding(buffers, pool, order)
+            done = yield from self._replay_prefix(order, limit)
+            self._replays_done[key] = done
+        yield from ctx.send(self.node, ctx.scheduler_node, done)
+
+    def _requeue_excluding(
+        self, buffers: _Buffers, pool: np.ndarray, order: ReplayOrder
+    ) -> Generator[Any, Any, None]:
+        """Re-buffer ``pool`` under the live table, minus the replay's share.
+
+        Build tuples covered by the replay (assigned to the target under
+        the order's table) are dropped outright; probe tuples only lose
+        their target *copy* — copies for other replicas still flow live."""
+        if pool.size == 0:
+            return
+        ctx = self.ctx
+        assert order.router is not None
+        yield from self.node.compute_per_tuple(ctx.cost.cpu_route_tuple, pool.size)
+        positions = ctx.posmap(pool)
+        if order.relation == "S":
+            parts = self.router.partition_probe(positions)
+            for dest, idx in sorted(parts.items()):
+                if dest == order.target:
+                    continue
+                buffers.append(dest, pool[idx])
+            return
+        covered = order.router.partition_build(positions).get(order.target)
+        if covered is not None and covered.size:
+            keep = np.ones(pool.size, dtype=bool)
+            keep[covered] = False
+            pool, positions = pool[keep], positions[keep]
+        if pool.size == 0:
+            return
+        parts = self.router.partition_build(positions)
+        for dest, idx in sorted(parts.items()):
+            if dest == order.target:
+                continue  # live share of the target's range is replayed
+            buffers.append(dest, pool[idx])
+
+    def _replay_prefix(
+        self, order: ReplayOrder, limit: int
+    ) -> Generator[Any, Any, ReplayDone]:
+        """Re-generate batches ``[0, limit)`` and stream the target's share."""
+        ctx = self.ctx
+        wl = ctx.cfg.workload
+        router = order.router if order.router is not None else self.router
+        replay_probe = order.relation == "S"
+        stream = RelationStream(wl, order.relation, ctx.n_sources, self.index)
+        chunks = 0
+        tuples = 0
+        held: list[np.ndarray] = []
+        pending = 0
+        for i, batch in enumerate(stream.batches()):
+            if i >= limit:
+                break
+            if ctx.cfg.sources_from_disk:
+                yield from self.node.disk.read(
+                    int(batch.size) * wl.tuple_bytes
+                )
+            else:
+                yield from self.node.compute_per_tuple(
+                    ctx.cost.cpu_generate_tuple, batch.size
+                )
+            yield from self.node.compute_per_tuple(
+                ctx.cost.cpu_route_tuple, batch.size
+            )
+            positions = ctx.posmap(batch)
+            parts = (router.partition_probe(positions) if replay_probe
+                     else router.partition_build(positions))
+            idx = parts.get(order.target)
+            if idx is None or idx.size == 0:
+                continue
+            held.append(batch[idx])
+            pending += int(idx.size)
+            while pending >= self.chunk_tuples:
+                merged = np.concatenate(held)
+                chunk, rest = (merged[: self.chunk_tuples],
+                               merged[self.chunk_tuples:])
+                held = [rest] if rest.size else []
+                pending = int(rest.size)
+                yield from self._send_replay_chunk(order, chunk)
+                chunks += 1
+                tuples += int(chunk.size)
+        if pending:
+            merged = np.concatenate(held)
+            yield from self._send_replay_chunk(order, merged)
+            chunks += 1
+            tuples += int(merged.size)
+        done = ReplayDone(
+            recovery_id=order.recovery_id,
+            source=self.index,
+            relation=order.relation,
+            chunks_sent={order.target: chunks} if chunks else {},
+            tuples=tuples,
+        )
+        ctx.trace("replay_done", f"src{self.index}", relation=order.relation,
+                  target=order.target, chunks=chunks, tuples=tuples)
+        return done
+
+    def _send_replay_chunk(
+        self, order: ReplayOrder, values: np.ndarray
+    ) -> Generator[Any, Any, None]:
+        """Replay traffic: counted in the ReplayDone receipt, never in the
+        live ``chunks_sent`` maps (the scheduler fences those per-dest)."""
+        ctx = self.ctx
+        version = (order.router.version if order.router is not None
+                   else self.router.version)
+        msg = DataChunk(
+            relation=order.relation,
+            values=values,
+            tuple_bytes=ctx.cfg.workload.tuple_bytes,
+            hop=Hop.PROBE if order.relation == "S" else Hop.PRIMARY,
+            origin=self.node.node_id,
+            version=version,
+        )
+        yield from ctx.send(self.node, ctx.join_node(order.target), msg)

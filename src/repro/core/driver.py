@@ -58,6 +58,23 @@ def spawn_query_pipeline(
         scheduler.run(), name=f"scheduler-q{ctx.query}"
     )
 
+    # Control-plane fault tolerance (single-query mode only): a standby
+    # scheduler that passively replicates state and takes over on primary
+    # silence.  The driver reads the query outcome from whichever of the
+    # two actually finished it.
+    scheduler.backup = None
+    if (
+        spawn_joins
+        and ctx.faults is not None
+        and ctx.faults.plan.membership_active
+        and ctx.backup_node is not None
+    ):
+        from .membership import BackupSchedulerProcess
+
+        backup = BackupSchedulerProcess(ctx)
+        backup.proc = ctx.sim.spawn(backup.run(), name="sched-backup")
+        scheduler.backup = backup
+
     if spawn_joins:
         auto_spill = ctx.cfg.algorithm is Algorithm.OUT_OF_CORE
         joins = [
@@ -68,6 +85,7 @@ def spawn_query_pipeline(
         for jp in joins:
             join_procs[jp.index] = ctx.sim.spawn(jp.run(), name=f"join{jp.index}")
         if ctx.faults is not None:
+            ctx.faults.attach_scheduler(scheduler.proc)
             ctx.faults.attach_joins(join_procs, {jp.index: jp for jp in joins})
             ctx.faults.start()
 
@@ -200,6 +218,14 @@ def run_join(cfg: RunConfig, validate: bool = True) -> JoinRunResult:
     sim.run()
 
     outcome = scheduler.proc.value
+    if outcome is None and scheduler.backup is not None:
+        # The primary was killed (or deposed): the standby owns the result.
+        outcome = scheduler.backup.outcome
+    if outcome is None:
+        raise RuntimeError(
+            "query did not complete: scheduler produced no outcome "
+            "(primary crashed with no standby takeover?)"
+        )
     ctx.cluster.network.assert_conserved()
 
     harvest_simulator(ctx.metrics, sim)

@@ -36,9 +36,13 @@ from .messages import (
     DataChunk,
     FinalReport,
     FinalizePass,
+    HeartbeatAck,
+    HeartbeatPing,
     Hop,
     LinearSplitOrder,
     MemoryFull,
+    NodeLost,
+    NodeLostAck,
     OutputRedirect,
     PassDone,
     ReliefAck,
@@ -46,6 +50,7 @@ from .messages import (
     ReplicateOrder,
     ReshuffleDone,
     ReshuffleOrder,
+    SchedulerFailover,
     Shutdown,
     SpillOrder,
     SplitDone,
@@ -202,9 +207,13 @@ class JoinProcess:
         self.bucket: int | None = None
         self.successor: int | None = None       # replication forwarding
         #: sequence numbers of data chunks already received — duplicate
-        #: suppression for the at-least-once transport (idempotent receipt)
+        #: suppression for the at-least-once transport (idempotent receipt);
+        #: cleared at FinalizePass (its high-water mark is the
+        #: ``node.dedup_window`` gauge)
         self._seen_seqs: set[tuple[int, int]] = set()
-        self.shed_chain: list[tuple[ShedPredicate, int]] = []
+        #: successor may be ``None`` after its target was declared dead —
+        #: shed tuples are then discarded (the recovery replay covers them)
+        self.shed_chain: list[tuple[ShedPredicate, int | None]] = []
         self.parked: deque[DataChunk] = deque()
         self.pre_activation: deque[DataChunk] = deque()
         self.full_pending = False
@@ -232,29 +241,80 @@ class JoinProcess:
         self._output_spill_mode = False  # pool exhausted: disk from now on
         self.emitted_probe = 0
         self._tb = ctx.cfg.workload.tuple_bytes
+        # --- control-plane fault tolerance (repro.core.membership) ---
+        #: pool indices of peers the scheduler declared dead
+        self.fenced: set[int] = set()
+        #: their global node ids (data chunks carry the global ``origin``)
+        self._fenced_gids: set[int] = set()
+        #: purged after a replica-chain member died: stored segment dropped,
+        #: all further data discarded (the replay re-streams the range)
+        self.quarantined = False
+        # Per-peer drain-counter components, so a dead peer's contribution
+        # can be subtracted from the totals reported to the drain protocol
+        # (its own counters died with it, and the books must still balance).
+        self._recv_build_by_origin: dict[int, int] = {}
+        self._proc_build_by_origin: dict[int, int] = {}
+        self._emitted_build_by_dest: dict[int, int] = {}
+        #: linear splits already executed (idempotent re-drive after failover)
+        self._applied_splits: set[tuple[int, int]] = set()
+        self._finalized_pass = False
+        #: the data chunk being dispatched still holds its receive credit
+        self._msg_credit = False
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> Generator[Any, Any, None]:
-        while self.state not in (self.DONE, self.CRASHED):
-            get_ev = self.node.mailbox.get()
-            try:
-                msg = yield get_ev
-            except Interrupt as itr:
-                # Fail-stop crash injected by the fault plan.  Only a
-                # dormant node is ever interrupted (the injector refuses
-                # to kill a node holding join state); withdraw the pending
-                # mailbox getter so later deliveries are not silently
-                # consumed by a dead waiter, and vanish without a trace —
-                # no FinalReport, no acks: the scheduler must discover the
-                # death through its recruit timeout.
-                self.node.mailbox.cancel_get(get_ev)
-                self.state = self.CRASHED
-                self.ctx.trace("crashed", f"join{self.index}",
-                               cause=str(itr.cause))
+        try:
+            while self.state not in (self.DONE, self.CRASHED):
+                get_ev = self.node.mailbox.get()
+                try:
+                    msg = yield get_ev
+                except Interrupt:
+                    # Withdraw the pending getter so later deliveries are
+                    # not silently consumed by a dead waiter.
+                    self.node.mailbox.cancel_get(get_ev)
+                    raise
+                self._msg_credit = isinstance(msg, DataChunk)
+                yield from self._dispatch(msg)
+                self._msg_credit = False
+        except Interrupt as itr:
+            # Fail-stop crash injected by the fault plan, possibly mid-
+            # dispatch (a working node dies holding join state).  The node
+            # vanishes without a trace — no FinalReport, no acks: a dormant
+            # recruit's death surfaces through the scheduler's recruit
+            # timeout, a working node's through the heartbeat detector.
+            self.state = self.CRASHED
+            self.ctx.trace("crashed", f"join{self.index}",
+                           cause=str(itr.cause))
+            yield from self._tombstone()
+
+    def _tombstone(self) -> Generator[Any, Any, None]:
+        """Absorb traffic addressed to the corpse.
+
+        Delivery completes regardless of receiver liveness (byte
+        conservation), but receive-window credits are released by the
+        *consumer* — so a dead node must keep returning them or live
+        senders eventually jam on its receive window.  Credits held by the
+        in-dispatch chunk and by parked chunks are returned immediately;
+        every later data chunk is retired on arrival.  A Shutdown ends the
+        absorber (the scheduler still sweeps dead nodes at end of run).
+        """
+        if self._msg_credit:
+            self.node.recv_credits.release()
+            self._msg_credit = False
+        while self.parked:
+            self.parked.popleft()
+            self.node.recv_credits.release()
+        while self.pre_activation:
+            self.pre_activation.popleft()
+            self.node.recv_credits.release()
+        while True:
+            msg = yield self.node.mailbox.get()
+            if isinstance(msg, DataChunk):
+                self.node.recv_credits.release()
+            elif isinstance(msg, Shutdown):
                 return
-            yield from self._dispatch(msg)
 
     def _dispatch(self, msg: Any) -> Generator[Any, Any, None]:
         if isinstance(msg, DataChunk):
@@ -290,6 +350,12 @@ class JoinProcess:
             yield from self._on_reshuffle_order(msg)
         elif isinstance(msg, FinalizePass):
             yield from self._on_finalize_pass(msg)
+        elif isinstance(msg, HeartbeatPing):
+            yield from self._on_heartbeat_ping(msg)
+        elif isinstance(msg, NodeLost):
+            yield from self._on_node_lost(msg)
+        elif isinstance(msg, SchedulerFailover):
+            yield from self._on_scheduler_failover(msg)
         elif isinstance(msg, Shutdown):
             yield from self._on_shutdown(msg)
         else:
@@ -315,10 +381,18 @@ class JoinProcess:
         if chunk.relation == "R":
             self.received_build += 1
             self.processed_build += 1
+            if chunk.origin >= 0:
+                self._recv_build_by_origin[chunk.origin] = (
+                    self._recv_build_by_origin.get(chunk.origin, 0) + 1
+                )
+                self._proc_build_by_origin[chunk.origin] = (
+                    self._proc_build_by_origin.get(chunk.origin, 0) + 1
+                )
         else:
             self.received_probe += 1
             self.processed_probe += 1
         self.node.recv_credits.release()
+        self._msg_credit = False
         self.ctx.metrics.inc("faults_duplicates_suppressed", 1,
                              node=self.node.name)
         self.ctx.trace("duplicate_suppressed", f"join{self.index}",
@@ -329,7 +403,14 @@ class JoinProcess:
     # activation
     # ------------------------------------------------------------------
     def _on_activate(self, msg: ActivateJoin) -> Generator[Any, Any, None]:
-        assert self.state == self.DORMANT, f"join{self.index} double activation"
+        if self.state != self.DORMANT:
+            # Idempotent re-activation: a scheduler failover re-drives its
+            # pending decision, and the recruit may have acked the dead
+            # primary.  Re-confirm to the current scheduler and keep state.
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node, ActivateAck(self.index)
+            )
+            return
         self.my_range = msg.hash_range
         self.bucket = msg.bucket
         self.is_output_sink = msg.output_sink
@@ -360,34 +441,51 @@ class JoinProcess:
     # ------------------------------------------------------------------
     # build path
     # ------------------------------------------------------------------
-    def _retire_build_chunk(self) -> None:
+    def _retire_build_chunk(self, origin: int = -1) -> None:
         """Mark one delivered build chunk fully consumed: count it and
         return its receive-window credit to the senders."""
         self.processed_build += 1
+        if origin >= 0:
+            self._proc_build_by_origin[origin] = (
+                self._proc_build_by_origin.get(origin, 0) + 1
+            )
         self.node.recv_credits.release()
+        self._msg_credit = False
 
     def _on_build_chunk(
         self, chunk: DataChunk, already_counted: bool = False
     ) -> Generator[Any, Any, None]:
         if not already_counted:
             self.received_build += 1
+            if chunk.origin >= 0:
+                self._recv_build_by_origin[chunk.origin] = (
+                    self._recv_build_by_origin.get(chunk.origin, 0) + 1
+                )
         if self.state == self.DORMANT:
             self.pre_activation.append(chunk)
+            self._msg_credit = False
+            return
+        if self.quarantined:
+            # Purged after a chain member died: the whole range is being
+            # re-streamed to a fresh target; stragglers are covered by it.
+            self._retire_build_chunk(chunk.origin)
             return
         if self.state == self.CLOSED and chunk.hop != Hop.RESHUFFLE:
             # Replication: a closed node relays build traffic to the node
             # that replaced it (which may itself relay — chain forwarding).
             self._spawn_transfer(chunk.values, self.successor, Hop.FORWARD)
-            self._retire_build_chunk()
+            self._retire_build_chunk(chunk.origin)
             return
 
         values = yield from self._apply_shed_chain(chunk.values)
         if values.size == 0:
-            self._retire_build_chunk()
+            self._retire_build_chunk(chunk.origin)
             return
-        fully = yield from self._insert_or_park(values, force=chunk.hop == Hop.RESHUFFLE)
+        fully = yield from self._insert_or_park(
+            values, force=chunk.hop == Hop.RESHUFFLE, origin=chunk.origin
+        )
         if fully:
-            self._retire_build_chunk()
+            self._retire_build_chunk(chunk.origin)
         # else: remainder parked; this chunk counts as processed (and its
         # credit is released) only when the parked remainder is finally
         # consumed (_reprocess_parked) — which is what throttles senders.
@@ -401,6 +499,11 @@ class JoinProcess:
             if mask.any():
                 out = values[mask]
                 values = values[~mask]
+                if succ is None:
+                    # Shed target was declared dead; its range is being
+                    # re-streamed from the sources, so forwarding would
+                    # double-deliver.  Drop.
+                    continue
                 yield from self.node.compute_per_tuple(
                     self.ctx.cost.cpu_repack_tuple, out.size
                 )
@@ -408,7 +511,7 @@ class JoinProcess:
         return values
 
     def _insert_or_park(
-        self, values: np.ndarray, force: bool = False
+        self, values: np.ndarray, force: bool = False, origin: int = -1
     ) -> Generator[Any, Any, bool]:
         """Insert into the table; park what does not fit.  Returns True when
         everything was consumed (inserted or spilled)."""
@@ -452,7 +555,11 @@ class JoinProcess:
                 yield from self.spill.write_r(dumped)
             yield from self.spill.write_r(values)
             return True
-        self.parked.append(DataChunk("R", values, self._tb, hop=Hop.FORWARD))
+        self.parked.append(
+            DataChunk("R", values, self._tb, hop=Hop.FORWARD, origin=origin)
+        )
+        # The parked entry now owns the receive credit.
+        self._msg_credit = False
         if not self.full_pending:
             self.full_pending = True
             self.ctx.trace("memory_full", f"join{self.index}",
@@ -470,20 +577,22 @@ class JoinProcess:
             chunk = self.parked.popleft()
             if self.state == self.CLOSED:
                 self._spawn_transfer(chunk.values, self.successor, Hop.FORWARD)
-                self._retire_build_chunk()
+                self._retire_build_chunk(chunk.origin)
                 continue
             values = yield from self._apply_shed_chain(chunk.values)
             if values.size == 0:
-                self._retire_build_chunk()
+                self._retire_build_chunk(chunk.origin)
                 continue
-            fully = yield from self._insert_or_park_retry(values)
+            fully = yield from self._insert_or_park_retry(values, chunk.origin)
             if fully:
-                self._retire_build_chunk()
+                self._retire_build_chunk(chunk.origin)
             else:
                 return True  # parked again; stop retrying
         return False
 
-    def _insert_or_park_retry(self, values: np.ndarray) -> Generator[Any, Any, bool]:
+    def _insert_or_park_retry(
+        self, values: np.ndarray, origin: int = -1
+    ) -> Generator[Any, Any, bool]:
         """Like _insert_or_park but never re-sends MemoryFull (the caller
         reports still_full through its ReliefAck instead)."""
         cost = self.ctx.cost
@@ -501,7 +610,9 @@ class JoinProcess:
             self.store.insert(values[:fit])
             yield from self.node.compute_per_tuple(cost.cpu_insert_tuple, fit)
             values = values[fit:]
-        self.parked.appendleft(DataChunk("R", values, self._tb, hop=Hop.FORWARD))
+        self.parked.appendleft(
+            DataChunk("R", values, self._tb, hop=Hop.FORWARD, origin=origin)
+        )
         return False
 
     def _spawn_transfer(self, values: np.ndarray, dest: int | None, hop: str) -> None:
@@ -513,7 +624,11 @@ class JoinProcess:
         stuck behind ours).  ``transfers_pending`` keeps the drain protocol
         honest while data sits in an unsent transfer.
         """
-        assert dest is not None and dest != self.index, (
+        if dest is None or dest in self.fenced:
+            # The destination was declared dead: anything we would ship is
+            # covered by the recovery replay from the sources.  Drop.
+            return
+        assert dest != self.index, (
             f"join{self.index}: bad forward destination {dest}"
         )
         if values.size == 0:
@@ -537,12 +652,15 @@ class JoinProcess:
         if serialized:
             # Barrier split pointer: one split transfer on the wire at a
             # time (the paper's 'done' message gates the next split).
-            yield self.ctx.split_transfer_token.acquire()
+            yield from self.ctx.split_transfer_token.grab()
         try:
             chunk_tuples = self.ctx.cfg.workload.real_chunk_tuples
             for off in range(0, int(values.size), chunk_tuples):
                 part = values[off: off + chunk_tuples]
                 self.emitted_build += 1
+                self._emitted_build_by_dest[dest] = (
+                    self._emitted_build_by_dest.get(dest, 0) + 1
+                )
                 yield from self.ctx.send(
                     self.node,
                     self.ctx.join_node(dest),
@@ -567,6 +685,13 @@ class JoinProcess:
     # relief orders
     # ------------------------------------------------------------------
     def _on_replicate_order(self, msg: ReplicateOrder) -> Generator[Any, Any, None]:
+        if self.state == self.CLOSED:
+            # Already applied (scheduler failover re-drove the decision).
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node,
+                ReliefAck(self.index, still_full=False),
+            )
+            return
         assert self.state in (self.BUILD,), "replicate order in wrong state"
         self.successor = msg.new_node
         self.state = self.CLOSED
@@ -580,6 +705,16 @@ class JoinProcess:
         )
 
     def _on_bisect_order(self, msg: BisectOrder) -> Generator[Any, Any, None]:
+        if self.my_range is not None and self.my_range.hi == msg.mid:
+            # Already applied (failover re-drive): range was shrunk and the
+            # upper half shipped; nothing more may move.
+            still_full = yield from self._reprocess_parked()
+            self.full_pending = still_full
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node,
+                ReliefAck(self.index, still_full=still_full, moved_tuples=0),
+            )
+            return
         assert self.my_range is not None and self.my_range.contains(msg.mid)
         old = self.my_range
         self.my_range = HashRange(old.lo, msg.mid)
@@ -605,6 +740,15 @@ class JoinProcess:
         )
 
     def _on_linear_split_order(self, msg: LinearSplitOrder) -> Generator[Any, Any, None]:
+        key = (msg.new_bucket, msg.modulus)
+        if key in self._applied_splits:
+            # Failover re-drive of a split that already executed.
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node,
+                SplitDone(self.index, moved_tuples=0),
+            )
+            return
+        self._applied_splits.add(key)
         moved = self.store.extract_linear_bucket(msg.new_bucket, msg.modulus)
         if moved.size:
             self.node.memory.free(int(moved.size) * self._tb)
@@ -670,12 +814,24 @@ class JoinProcess:
     # drain polling
     # ------------------------------------------------------------------
     def _on_status_request(self, msg: StatusRequest) -> Generator[Any, Any, None]:
+        # Adjusted counters: contributions from fenced (declared-dead) peers
+        # are subtracted at report time — raw counters are never mutated, so
+        # late in-flight arrivals from a dead peer stay balanced out too.
+        recv_b = self.received_build - sum(
+            self._recv_build_by_origin.get(g, 0) for g in sorted(self._fenced_gids)
+        )
+        proc_b = self.processed_build - sum(
+            self._proc_build_by_origin.get(g, 0) for g in sorted(self._fenced_gids)
+        )
+        emit_b = self.emitted_build - sum(
+            self._emitted_build_by_dest.get(d, 0) for d in sorted(self.fenced)
+        )
         report = StatusReport(
             node=self.index,
             token=msg.token,
-            received_build=self.received_build,
-            processed_build=self.processed_build,
-            emitted_build=self.emitted_build,
+            received_build=recv_b,
+            processed_build=proc_b,
+            emitted_build=emit_b,
             received_probe=self.received_probe,
             processed_probe=self.processed_probe,
             busy=bool(self.parked) or self.full_pending
@@ -841,6 +997,7 @@ class JoinProcess:
         if self.state == self.DORMANT:
             # Raced ahead of our ActivateJoin; replay on activation.
             self.pre_activation.append(chunk)
+            self._msg_credit = False  # the parked entry owns the credit
             return
         yield from self._materialize_output(chunk.tuples)
         self.processed_probe += 1
@@ -860,9 +1017,95 @@ class JoinProcess:
         )
 
     # ------------------------------------------------------------------
+    # control-plane fault tolerance (repro.core.membership)
+    # ------------------------------------------------------------------
+    def _on_heartbeat_ping(self, msg: HeartbeatPing) -> Generator[Any, Any, None]:
+        # Best-effort on purpose: a lost ack must look exactly like a dead
+        # node to the detector — that is what makes false positives real.
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node,
+            HeartbeatAck(self.index, msg.token),
+            best_effort=True,
+        )
+
+    def _on_node_lost(self, msg: NodeLost) -> Generator[Any, Any, None]:
+        if msg.dead not in self.fenced:
+            self.fenced.add(msg.dead)
+            self._fenced_gids.add(self.ctx.join_node(msg.dead).node_id)
+            if self.successor == msg.dead:
+                self.successor = None
+            # Shed entries that pointed at the corpse become discards: the
+            # replay from the sources re-covers that range.
+            self.shed_chain = [
+                (pred, None if succ == msg.dead else succ)
+                for pred, succ in self.shed_chain
+            ]
+            if msg.purge and not self.quarantined:
+                self._purge(msg.dead)
+            self.ctx.trace("node_lost", f"join{self.index}",
+                           dead=msg.dead, purge=msg.purge)
+        yield from self.ctx.send(
+            self.node, self.ctx.scheduler_node, NodeLostAck(self.index)
+        )
+
+    def _purge(self, dead: int) -> None:
+        """Drop this node's replica-chain segment after a co-member died.
+
+        Chain members hold *disjoint temporal segments* of one range, so
+        with any member dead the range cannot be served from survivors —
+        the whole entry collapses to a fresh target and the sources
+        re-stream it.  Survivors drop their segment (it would double-count
+        against the replay) and retire all further traffic on arrival.
+        """
+        self.quarantined = True
+        dumped = self.store.extract_position_range(
+            0, self.ctx.cfg.hash_positions
+        )
+        if dumped.size:
+            self.node.memory.free(int(dumped.size) * self._tb)
+        self.matches = 0
+        self.spill = None
+        while self.parked:
+            chunk = self.parked.popleft()
+            self._retire_build_chunk(chunk.origin)
+        self.full_pending = False
+        self.ctx.trace("purged", f"join{self.index}", dead=dead,
+                       dropped=int(dumped.size))
+
+    def _on_scheduler_failover(self, msg: SchedulerFailover) -> Generator[Any, Any, None]:
+        # The dead primary may have taken our un-acked announcements to its
+        # grave; re-announce anything still awaiting a scheduler decision
+        # (re-announcing something the backup already knows is harmless —
+        # the relief queue tolerates duplicate MemoryFull entries).
+        self.ctx.trace("scheduler_failover", f"join{self.index}",
+                       new_scheduler=msg.new_scheduler)
+        if self.full_pending and self.parked:
+            deficit = sum(c.nbytes for c in self.parked)
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node,
+                MemoryFull(self.index, deficit_bytes=deficit),
+            )
+        if self.output_full_pending:
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node,
+                MemoryFull(
+                    self.index,
+                    deficit_bytes=self.output_pending
+                    * self.ctx.cfg.output_pair_bytes,
+                ),
+            )
+
+    # ------------------------------------------------------------------
     # OOC final passes & shutdown
     # ------------------------------------------------------------------
     def _on_finalize_pass(self, msg: FinalizePass) -> Generator[Any, Any, None]:
+        if self._finalized_pass:
+            # Failover re-drive: the passes already ran; just re-ack.
+            yield from self.ctx.send(
+                self.node, self.ctx.scheduler_node, PassDone(self.index)
+            )
+            return
+        self._finalized_pass = True
         if self.probe_started_at == self.probe_started_at:  # not NaN
             self.ctx.spans.add(
                 f"join{self.index}", "probe",
@@ -884,6 +1127,12 @@ class JoinProcess:
                     found * self.ctx.cfg.output_pair_bytes
                 )
             self.ctx.trace("ooc_pass", f"join{self.index}", matches=found)
+        # The dedup window has done its job once the query's data flow is
+        # over; record its high-water mark and release the memory.
+        self.ctx.metrics.set_gauge(
+            "node.dedup_window", len(self._seen_seqs), node=self.node.name
+        )
+        self._seen_seqs.clear()
         yield from self.ctx.send(
             self.node, self.ctx.scheduler_node, PassDone(self.index)
         )

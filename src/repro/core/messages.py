@@ -53,6 +53,16 @@ __all__ = [
     "RecruitGrant",
     "RecruitDeny",
     "QueryDone",
+    "HeartbeatPing",
+    "HeartbeatAck",
+    "StateSync",
+    "SchedulerFailover",
+    "Depose",
+    "NodeLost",
+    "NodeLostAck",
+    "ReplayOrder",
+    "ReplayDone",
+    "DeathVerdict",
 ]
 
 #: default control-plane size; kept in sync with CostModel.control_msg_bytes
@@ -436,6 +446,127 @@ class SourceDone(_Control):
 
 
 # ----------------------------------------------------------------------
+# control-plane fault tolerance (repro.core.membership)
+# ----------------------------------------------------------------------
+@dataclass
+class HeartbeatPing(_Control):
+    """Membership detector ping (scheduler -> watched node, best effort).
+
+    Sent single-shot over the faulty network — no retransmission, no ack
+    wait — so a lossy or slow link manifests as a *missing* ack and the
+    detector must tolerate false positives (there is no failure oracle)."""
+
+    token: int
+
+
+@dataclass
+class HeartbeatAck(_Control):
+    """Liveness reply to a HeartbeatPing (watched node -> scheduler)."""
+
+    node: int
+    token: int
+
+
+@dataclass
+class StateSync(_Control):
+    """Primary scheduler -> backup: WAL-style state replication.
+
+    Shipped *before* the primary acts on a decision, so the backup can
+    idempotently re-drive the in-flight decision (``pending``) after a
+    takeover.  ``sync_seq`` is monotone; the backup keeps the newest."""
+
+    sync_seq: int
+    phase: str = "build"
+    router: Router | None = None
+    version: int = 0
+    activated: tuple[int, ...] = ()
+    fenced: tuple[int, ...] = ()
+    #: in-flight decision descriptor, e.g. ("replicate", reporter, new_node);
+    #: empty tuple when no decision is mid-flight
+    pending: tuple = ()
+
+    @property
+    def nbytes(self) -> int:
+        return CONTROL_BYTES + (self.router.wire_bytes() if self.router else 0)
+
+
+@dataclass
+class SchedulerFailover(_Control):
+    """Backup -> everyone: the scheduler moved to ``new_scheduler``.
+
+    Receivers re-announce state the dead primary may have lost: sources
+    re-send SourceDone for finished relations, full join nodes re-send
+    MemoryFull for parked backlogs."""
+
+    new_scheduler: int
+
+
+@dataclass
+class Depose(_Control):
+    """Backup -> old primary: stand down (split-brain backstop).
+
+    Normally arrives at a dead process and is absorbed by its mailbox; a
+    falsely-suspected live primary exits cleanly instead of competing."""
+
+    new_scheduler: int
+
+
+@dataclass
+class NodeLost(_Control):
+    """Scheduler -> surviving join node: ``dead`` was declared failed.
+
+    Receivers subtract the dead peer's per-origin/per-dest contributions
+    from their drain counters and discard (never forward to) it.  With
+    ``purge=True`` the receiver shared a replica chain with the dead node:
+    it drops its stored segment and quarantines — the whole range will be
+    re-streamed from the sources to a fresh target, so keeping survivor
+    segments would double-store tuples and double-count matches."""
+
+    dead: int
+    purge: bool = False
+
+
+@dataclass
+class NodeLostAck(_Control):
+    """Survivor -> scheduler: NodeLost applied (fencing barrier)."""
+
+    node: int
+
+
+@dataclass
+class ReplayOrder(_Control):
+    """Scheduler -> data source: re-stream one relation to ``target``.
+
+    Sources regenerate their stream deterministically from the workload
+    seed and re-send only the batches already streamed (their replay
+    cursor), filtered to tuples that route to ``target`` under
+    ``router`` (the post-takeover table; carried in the order so a
+    probe-phase replay can run *before* the source's live routing table
+    is flipped).  ``recovery_id`` deduplicates re-driven orders."""
+
+    relation: str
+    target: int
+    recovery_id: int
+    router: Router | None = None
+
+    @property
+    def nbytes(self) -> int:
+        return CONTROL_BYTES + (self.router.wire_bytes() if self.router else 0)
+
+
+@dataclass
+class ReplayDone(_Control):
+    """Source -> scheduler: replay finished; ``chunks_sent`` went to the
+    recovery target (drain-accounting delta, keyed by ``recovery_id``)."""
+
+    recovery_id: int
+    source: int
+    relation: str
+    chunks_sent: dict[int, int] = field(default_factory=dict)
+    tuples: int = 0
+
+
+# ----------------------------------------------------------------------
 # local (non-network) messages
 # ----------------------------------------------------------------------
 @dataclass
@@ -443,6 +574,18 @@ class PollTick:
     """Timer tick the drain ticker drops into the scheduler mailbox.
 
     Never crosses the network (the ticker runs on the scheduler node)."""
+
+    kind = "tick"
+    nbytes = 0
+
+
+@dataclass
+class DeathVerdict:
+    """Membership detector -> scheduler main loop: ``node`` is declared
+    dead (confirm timeout expired).  Local hand-off on the scheduler node
+    — never crosses the network."""
+
+    node: int
 
     kind = "tick"
     nbytes = 0

@@ -43,12 +43,33 @@ class ReplicationStrategy(ExpansionStrategy):
         )
         if new_node is None:
             return (yield from self.fallback_spill(reporter))
+        # WAL before mutating the table: a standby re-drives from here.
+        yield from sched.wal_decision(("replicate", reporter, new_node),
+                                      parties=(reporter, new_node))
         sched.router = router.with_replica(idx, new_node, sched.next_version())
         yield from sched.send_to_join(reporter, ReplicateOrder(new_node=new_node))
         yield from sched.broadcast_to_sources(RouteUpdate(sched.router))
         sched.mark_full(reporter)
         sched.ctx.trace("expand_replicate", "scheduler",
                         reporter=reporter, new_node=new_node, range=str(rng))
+        ack = yield from sched.await_relief_ack(reporter)
+        yield from sched.clear_decision()
+        return ack
+
+    def redrive(self, pending: tuple) -> Generator[Any, Any, ReliefAck]:
+        """Re-drive a WAL'd replication: the snapshot table predates the
+        decision, so apply the replica if absent, then repeat the (wholly
+        idempotent) order/update/ack sequence."""
+        _kind, reporter, new_node = pending[0], int(pending[1]), int(pending[2])
+        sched = self.sched
+        router: RangeRouter = sched.router  # type: ignore[assignment]
+        idx = _entry_of_active(router, reporter)
+        if new_node not in router.entries[idx][1]:
+            sched.router = router.with_replica(idx, new_node,
+                                               sched.next_version())
+        yield from sched.send_to_join(reporter, ReplicateOrder(new_node=new_node))
+        yield from sched.broadcast_to_sources(RouteUpdate(sched.router))
+        sched.mark_full(reporter)
         return (yield from sched.await_relief_ack(reporter))
 
 

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any
 from ..config import SplitPolicy
 from ..hashing import (
     LinearHashDirectory,
+    LinearHashRouter,
     RangeRouter,
     Router,
     partition_positions,
@@ -103,6 +104,11 @@ class SplitStrategy(ExpansionStrategy):
         )
         if new_node is None:
             return (yield from self.fallback_spill(reporter))
+        # WAL before mutating the table: a standby re-drives from here.
+        yield from sched.wal_decision(
+            ("bisect", owner, right.lo, new_node, reporter),
+            parties=(owner, new_node),
+        )
         sched.router = router.with_bisection(idx, owner, new_node,
                                              sched.next_version())
         yield from sched.send_to_join(
@@ -117,11 +123,14 @@ class SplitStrategy(ExpansionStrategy):
         sched.record_split(moved=ack_owner.moved_tuples,
                            busy=sched.ctx.sim.now - t0)
         if owner == reporter:
+            yield from sched.clear_decision()
             return ack_owner
         # The pointer chose a different victim; ask the full reporter to
         # retry its parked buffers against the (possibly unchanged) table.
         yield from sched.send_to_join(reporter, ReliefPing())
-        return (yield from sched.await_relief_ack(reporter))
+        ack = yield from sched.await_relief_ack(reporter)
+        yield from sched.clear_decision()
+        return ack
 
     # ------------------------------------------------------------------
     # TARGETED_BISECT: split the reporter itself
@@ -177,6 +186,12 @@ class SplitStrategy(ExpansionStrategy):
         t0 = sched.ctx.sim.now
         ticket = self.directory.begin_split(new_node)
         assert ticket.new_bucket == new_bucket
+        # WAL after begin_split (local bookkeeping the standby rebuilds
+        # from the pre-split table) but before the order goes out.
+        yield from sched.wal_decision(
+            ("linear", reporter, ticket.new_bucket, new_node),
+            parties=(ticket.owner_node, new_node),
+        )
         yield from sched.send_to_join(
             ticket.owner_node,
             LinearSplitOrder(
@@ -198,6 +213,89 @@ class SplitStrategy(ExpansionStrategy):
         sched.record_split(moved=done.moved_tuples, busy=sched.ctx.sim.now - t0)
 
         # The split may not have targeted the reporter; ping it to retry.
+        yield from sched.send_to_join(reporter, ReliefPing())
+        ack = yield from sched.await_relief_ack(reporter)
+        yield from sched.clear_decision()
+        return ack
+
+    # ------------------------------------------------------------------
+    # control-plane fault tolerance (repro.core.membership)
+    # ------------------------------------------------------------------
+    def adopt_router(self, router: Router, activated: list[int]) -> None:
+        """Rebuild the directory / split order from a routing table.
+
+        Exact reconstruction for LINEAR_MOD (the table carries the whole
+        Litwin state); for LINEAR_POINTER the round-robin order restarts
+        in entry order — a fairness detail, not a correctness one."""
+        if self.policy is SplitPolicy.LINEAR_MOD:
+            assert isinstance(router, LinearHashRouter)
+            self.directory = LinearHashDirectory.from_router(router)
+        elif self.policy is SplitPolicy.LINEAR_POINTER:
+            assert isinstance(router, RangeRouter)
+            order: list[int] = []
+            for _rng, chain in router.entries:
+                for n in chain:
+                    if n not in order:
+                        order.append(n)
+            self.split_order = deque(order)
+
+    def redrive(self, pending: tuple) -> Generator[Any, Any, ReliefAck]:
+        """Re-drive a WAL'd split after a standby takeover.
+
+        The snapshot table predates the decision, so the routing change is
+        re-applied, the (idempotent) order re-sent and the ack re-awaited."""
+        sched = self.sched
+        if pending[0] == "bisect":
+            owner, mid, new_node, reporter = (
+                int(pending[1]), int(pending[2]), int(pending[3]),
+                int(pending[4]),
+            )
+            router: RangeRouter = sched.router  # type: ignore[assignment]
+            if not any(rng.lo == mid for rng, _ in router.entries):
+                idx = router.entry_index_for(mid)
+                sched.router = router.with_bisection(
+                    idx, owner, new_node, sched.next_version()
+                )
+            if (self.policy is SplitPolicy.LINEAR_POINTER
+                    and new_node not in self.split_order):
+                self.split_order.append(new_node)
+            yield from sched.send_to_join(
+                owner, BisectOrder(mid=mid, new_node=new_node)
+            )
+            yield from sched.broadcast_to_sources(RouteUpdate(sched.router))
+            ack = yield from sched.await_relief_ack(owner)
+            sched.record_split(moved=ack.moved_tuples, busy=0.0)
+            if owner != reporter:
+                yield from sched.send_to_join(reporter, ReliefPing())
+                ack = yield from sched.await_relief_ack(reporter)
+            return ack
+
+        assert pending[0] == "linear", pending
+        reporter, new_bucket, new_node = (
+            int(pending[1]), int(pending[2]), int(pending[3])
+        )
+        assert self.directory is not None
+        if self.directory.next_new_bucket == new_bucket:
+            # Buckets grow densely, so the rebuilt (pre-split) directory
+            # reproduces the exact same ticket the primary WAL'd.
+            ticket = self.directory.begin_split(new_node)
+            assert ticket.new_bucket == new_bucket
+            yield from sched.send_to_join(
+                ticket.owner_node,
+                LinearSplitOrder(
+                    new_bucket=ticket.new_bucket,
+                    modulus=ticket.modulus,
+                    new_node=new_node,
+                ),
+            )
+            done: SplitDone = yield from sched.await_message(
+                lambda m: isinstance(m, SplitDone)
+                and m.node == ticket.owner_node
+            )
+            self.directory.complete_split(ticket)
+            sched.router = self.directory.router(sched.next_version())
+            yield from sched.broadcast_to_sources(RouteUpdate(sched.router))
+            sched.record_split(moved=done.moved_tuples, busy=0.0)
         yield from sched.send_to_join(reporter, ReliefPing())
         return (yield from sched.await_relief_ack(reporter))
 

@@ -52,6 +52,26 @@ class ExpansionStrategy(ABC):
         return self.sched.router
 
     # ------------------------------------------------------------------
+    # control-plane fault tolerance hooks (repro.core.membership)
+    # ------------------------------------------------------------------
+    def adopt_router(self, router: Router, activated: list[int]) -> None:
+        """Rebuild strategy-private state from a routing table.
+
+        Called after a standby takeover (the table came from a snapshot)
+        and after a crash-recovery takeover rewrote it.  Default: the
+        strategy keeps no state beyond the table itself."""
+
+    def redrive(self, pending: tuple) -> Generator[Any, Any, ReliefAck | None]:
+        """Idempotently re-drive a WAL'd relief decision after a standby
+        takeover.  Strategies that never WAL (no expansion, or expansion
+        without multi-step commitment) cannot see one."""
+        raise RuntimeError(
+            f"{type(self).__name__} cannot re-drive pending decision "
+            f"{pending!r}"
+        )
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
     # shared fallback
     # ------------------------------------------------------------------
     def fallback_spill(self, reporter: int) -> Generator[Any, Any, ReliefAck]:

@@ -162,6 +162,21 @@ class FaultPlan:
     #: receive-port queueing of a healthy recruit
     recruit_timeout_s: float | None = None
     recruit_backoff_max_s: float | None = None
+    #: control-plane fault tolerance (repro.core.membership).  Setting
+    #: ``membership=True`` (or any of the knobs below) arms the heartbeat
+    #: failure detector and the backup scheduler, which lifts the
+    #: dormant-only crash ban: working-node crashes become recoverable.
+    membership: bool = False
+    #: heartbeat period; ``None`` derives it from the drain-poll interval
+    heartbeat_interval_s: float | None = None
+    #: missed-ack window before a node is *suspected* (may false-positive)
+    suspect_timeout_s: float | None = None
+    #: suspicion age before the detector declares death (no oracle — a
+    #: slow link that clears within this window is a tolerated false
+    #: positive, counted in ``membership.false_positive``)
+    confirm_timeout_s: float | None = None
+    #: fail-stop the primary scheduler at this simulated time
+    kill_scheduler_at: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "ack_drop_prob"):
@@ -179,6 +194,13 @@ class FaultPlan:
         if (self.recruit_backoff_max_s is not None
                 and self.recruit_backoff_max_s <= 0):
             raise FaultPlanError("recruit_backoff_max_s must be > 0")
+        for name in ("heartbeat_interval_s", "suspect_timeout_s",
+                     "confirm_timeout_s"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise FaultPlanError(f"{name} must be > 0")
+        if self.kill_scheduler_at is not None and self.kill_scheduler_at < 0:
+            raise FaultPlanError("kill_scheduler_at must be >= 0")
 
     # -- convenience -----------------------------------------------------
     @property
@@ -192,7 +214,19 @@ class FaultPlan:
 
     @property
     def active(self) -> bool:
-        return self.any_link_faults or bool(self.crashes)
+        return (self.any_link_faults or bool(self.crashes)
+                or self.membership_active)
+
+    @property
+    def membership_active(self) -> bool:
+        """True when the heartbeat detector + backup scheduler are armed."""
+        return (
+            self.membership
+            or self.heartbeat_interval_s is not None
+            or self.suspect_timeout_s is not None
+            or self.confirm_timeout_s is not None
+            or self.kill_scheduler_at is not None
+        )
 
     def with_crashes(self, *specs: CrashSpec) -> FaultPlan:
         return replace(self, crashes=self.crashes + tuple(specs))
@@ -218,6 +252,11 @@ class FaultPlan:
             "max_attempts": self.max_attempts,
             "recruit_timeout_s": self.recruit_timeout_s,
             "recruit_backoff_max_s": self.recruit_backoff_max_s,
+            "membership": self.membership,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "suspect_timeout_s": self.suspect_timeout_s,
+            "confirm_timeout_s": self.confirm_timeout_s,
+            "kill_scheduler_at": self.kill_scheduler_at,
         }
 
     @classmethod
@@ -228,6 +267,8 @@ class FaultPlan:
             "seed", "drop_prob", "ack_drop_prob", "crashes", "slowdowns",
             "rto_s", "rto_backoff", "rto_max_s", "max_attempts",
             "recruit_timeout_s", "recruit_backoff_max_s",
+            "membership", "heartbeat_interval_s", "suspect_timeout_s",
+            "confirm_timeout_s", "kill_scheduler_at",
         }
         unknown = set(data) - known
         if unknown:
@@ -291,6 +332,7 @@ class FaultInjector:
         self.crashed: set[int] = set()
         self._joins: dict[int, Any] = {}  # pool index -> JoinProcess
         self._procs: dict[int, Any] = {}  # pool index -> sim Process
+        self._scheduler_proc: Any = None  # primary scheduler sim Process
         self._fired: set[int] = set()  # indices into plan.crashes
         # resolved retransmission timing (rto_s may be derived from cost)
         self._rto = plan.rto_s
@@ -315,6 +357,10 @@ class FaultInjector:
                     f"pool has indices {sorted(self._joins)}"
                 )
 
+    def attach_scheduler(self, proc: Any) -> None:
+        """Register the primary scheduler process (kill_scheduler_at target)."""
+        self._scheduler_proc = proc
+
     def start(self) -> None:
         """Spawn timer processes for time-triggered crashes."""
         for i, spec in enumerate(self.plan.crashes):
@@ -322,6 +368,22 @@ class FaultInjector:
                 self.sim.spawn(
                     self._crash_at(i, spec), name=f"fault:crash@{spec.at_time}"
                 )
+        if self.plan.kill_scheduler_at is not None:
+            self.sim.spawn(
+                self._kill_scheduler_at(self.plan.kill_scheduler_at),
+                name=f"fault:sched-kill@{self.plan.kill_scheduler_at}",
+            )
+
+    def _kill_scheduler_at(self, at: float):
+        if at > self.sim.now:
+            yield self.sim.timeout(at - self.sim.now)
+        proc = self._scheduler_proc
+        if proc is None or not proc.is_alive:
+            self.trace("scheduler_crash_noop")
+            return
+        proc.interrupt(cause=("scheduler_crash",))
+        self.metrics.counter("faults_injected", kind="scheduler_crash").inc()
+        self.trace("scheduler_crash")
 
     def _crash_at(self, idx: int, spec: CrashSpec):
         if spec.at_time > self.sim.now:
@@ -343,18 +405,18 @@ class FaultInjector:
         if spec.node in self.crashed or not proc.is_alive:
             self.trace("crash_noop", node=spec.node)
             return
-        if join.state != join.DORMANT:
+        if join.state != join.DORMANT and not self.plan.membership_active:
             raise UnrecoverableFaultError(
                 f"fault plan crashes join node {spec.node} while {join.state} "
-                "— it holds join state, and the protocol has no replication/"
-                "replay to recover it (see docs/FAULTS.md: supported crash "
-                "model is fail-stop of dormant pool nodes)"
+                "— it holds join state, and recovering it needs the membership "
+                "layer (set membership=true in the fault plan to arm the "
+                "heartbeat detector + source replay; see docs/FAULTS.md)"
             )
         self.crashed.add(spec.node)
         proc.interrupt(cause=("node_crash", spec.node))
         self.metrics.counter("faults_injected", kind="crash").inc()
         self.metrics.counter("faults_crashes").inc()
-        self.trace("node_crash", node=spec.node)
+        self.trace("node_crash", node=spec.node, state=join.state)
 
     # -- link verdicts (network hot path) --------------------------------
     @property

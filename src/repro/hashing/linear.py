@@ -106,6 +106,21 @@ class LinearHashDirectory:
         self.split_pointer += 1
         return ticket
 
+    @classmethod
+    def from_router(cls, router: LinearHashRouter) -> LinearHashDirectory:
+        """Rebuild directory state from a routing snapshot.
+
+        Used by the backup scheduler after a takeover: snapshots are only
+        taken while no split is in flight, so ``barrier == split`` pointer
+        and a pending split decision can be re-driven with ``begin_split``.
+        """
+        d = cls(router.n0, list(router.bucket_nodes[: router.n0]))
+        d.level = router.level
+        d.split_pointer = router.split_pointer
+        d.barrier_pointer = router.split_pointer
+        d.bucket_nodes = list(router.bucket_nodes)
+        return d
+
     def complete_split(self, ticket: SplitTicket) -> None:
         """Record a finished split (the 'done' message from the bucket)."""
         if self._in_flight is not ticket:

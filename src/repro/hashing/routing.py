@@ -160,6 +160,37 @@ class RangeRouter(Router):
         """Ranges with more than one replica (hybrid reshuffle input)."""
         return [(r, d) for r, d in self.entries if len(d) > 1]
 
+    def with_takeover(
+        self, lost: set[int], target: int, version: int
+    ) -> RangeRouter:
+        """Crash recovery: every entry touching a lost node goes to ``target``.
+
+        Replica chains hold *disjoint temporal segments*, not copies, so a
+        chain that lost any member cannot serve its range from survivors;
+        the whole entry collapses to the single fresh ``target`` and the
+        sources re-stream the range to it (see repro.core.membership).
+        Adjacent collapsed entries are merged so the target ends up owning
+        one contiguous range — exactly what its ActivateJoin advertised —
+        and a later bisection of the target stays well-defined.
+        """
+        collapsed = [
+            (rng, (target,)) if set(dests) & lost else (rng, dests)
+            for rng, dests in self.entries
+        ]
+        merged: list[tuple[HashRange, tuple[int, ...]]] = []
+        for rng, dests in collapsed:
+            if (
+                merged
+                and dests == (target,)
+                and merged[-1][1] == (target,)
+                and merged[-1][0].hi == rng.lo
+            ):
+                prev, _ = merged.pop()
+                merged.append((HashRange(prev.lo, rng.hi), dests))
+            else:
+                merged.append((rng, dests))
+        return RangeRouter(self.positions, tuple(merged), version)
+
 
 class LinearHashRouter(Router):
     """Linear-hashing bucket addressing (split-based, LINEAR_POINTER policy).
@@ -221,3 +252,14 @@ class LinearHashRouter(Router):
 
     def wire_bytes(self) -> int:
         return 32 + 4 * self.n_buckets
+
+    def with_takeover(
+        self, lost: set[int], target: int, version: int
+    ) -> LinearHashRouter:
+        """Crash recovery: every bucket owned by a lost node moves to
+        ``target`` (the sources then re-stream those buckets to it)."""
+        return LinearHashRouter(
+            self.n0, self.level, self.split_pointer,
+            tuple(target if n in lost else n for n in self.bucket_nodes),
+            version,
+        )

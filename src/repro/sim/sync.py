@@ -162,6 +162,22 @@ class Resource:
         if ev.triggered:
             self.release()
 
+    def grab(self) -> Generator[Event, Any, None]:
+        """Acquire one slot, interrupt-safely, without a fixed duration.
+
+        ``yield from res.grab()`` instead of ``yield res.acquire()``
+        whenever the waiting process can be interrupted (crash injection):
+        a bare ``acquire()`` abandoned mid-wait leaves its request queued,
+        and the next ``release()`` hands the slot to the dead waiter —
+        leaking it forever.  The caller still owns the eventual
+        ``release()`` (typically in a ``finally``)."""
+        req = self.acquire()
+        try:
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
+
     def use(self, duration: float) -> Generator[Event, Any, None]:
         """Hold one slot for ``duration`` simulated seconds (FIFO order).
 

@@ -197,3 +197,42 @@ def test_loopback_data_send_consumes_a_credit():
     assert a.recv_credits.in_use == 1
     a.recv_credits.release()  # the consumer's retire balances it
     assert a.recv_credits.in_use == 0
+
+
+def test_sender_killed_while_queued_does_not_jam_the_port():
+    """Regression: a process crashed while *queued* for a busy rx port
+    must withdraw its request.  Before Resource.grab, the next release
+    handed the slot to the corpse and every later sender to that node
+    wedged forever (observed as a cluster-wide livelock when the primary
+    scheduler was killed mid-transmit)."""
+    from repro.sim import Interrupt
+
+    sim, net, a, b, cost = make_pair()
+    c = Node(sim, 2, "peer", cost)
+    big = Ctrl(nbytes=int(cost.net_bandwidth))  # 1 second on b's rx
+
+    def long_sender(sim):
+        yield from net.send(a, b, big)
+
+    def doomed_sender(sim):
+        try:
+            yield from net.send(c, b, Ctrl())
+        except Interrupt:
+            return  # crashed while queued on b.rx
+
+    def late_sender(sim):
+        yield sim.timeout(3.0)
+        yield from net.send(c, b, Ctrl())
+
+    sim.spawn(long_sender(sim))
+    d = sim.spawn(doomed_sender(sim))
+    sim.spawn(late_sender(sim))
+
+    def killer(sim):
+        yield sim.timeout(0.5)  # mid-wire: doomed is queued on b.rx
+        d.interrupt()
+
+    sim.spawn(killer(sim))
+    sim.run()
+    assert b.mailbox.total_put == 2, "the late send must still deliver"
+    assert b.rx.in_use == 0 and a.tx.in_use == 0 and c.tx.in_use == 0

@@ -1,0 +1,228 @@
+"""Control-plane fault tolerance: detector, failover, node recovery.
+
+These are whole-system chaos runs (marked ``chaos``) plus fast CLI-level
+checks.  The scenarios mirror docs/FAULTS.md §"Control-plane failure
+model":
+
+* the primary scheduler fail-stops mid-build and the standby takes over
+  (every algorithm, exact oracle counts);
+* a *working* join node crashes during build and during probe and its
+  hash range is re-streamed to a fresh node (every algorithm);
+* a slowed link produces a false suspicion that must resolve without a
+  failover or a lost query (the detector has no oracle).
+
+All runs validate against the sequential join oracle, so "recovered"
+means *exactly* right, not merely "terminated".
+"""
+
+import pytest
+
+from tests.conftest import small_cluster, small_config, small_workload
+from repro.cli import main
+from repro.config import Algorithm
+from repro.core import run_join
+from repro.faults import CrashSpec, FaultPlan, LinkSlowdown
+
+ALGOS = (
+    Algorithm.SPLIT,
+    Algorithm.REPLICATE,
+    Algorithm.HYBRID,
+    Algorithm.OUT_OF_CORE,
+)
+
+#: per-algorithm primary-kill times (simulated s) that land mid-build
+KILL_AT = {
+    Algorithm.SPLIT: 0.1,
+    Algorithm.REPLICATE: 0.03,
+    Algorithm.HYBRID: 0.03,
+    Algorithm.OUT_OF_CORE: 0.06,
+}
+
+
+def counter_total(res, name):
+    return sum(
+        inst["value"] for inst in res.metrics if inst["name"] == name
+    )
+
+
+def membership_plan(**kw) -> FaultPlan:
+    """Detector armed with a fast heartbeat so tests stay short."""
+    return FaultPlan(membership=True, heartbeat_interval_s=0.01, **kw)
+
+
+def run_with(algorithm, plan, *, pool=16):
+    cfg = small_config(
+        algorithm,
+        workload=small_workload(sigma=1e-5),  # 89 oracle matches
+        cluster=small_cluster(pool=pool),
+        faults=plan,
+    )
+    return run_join(cfg)
+
+
+# ---------------------------------------------------------------------------
+# scheduler fail-stop -> standby takeover
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_scheduler_killed_mid_build_fails_over(algorithm):
+    """The primary dies mid-build; the standby adopts the WAL'd snapshot,
+    redrives the in-flight decision and finishes with exact counts."""
+    res = run_with(
+        algorithm, membership_plan(kill_scheduler_at=KILL_AT[algorithm])
+    )
+    assert res.matches == res.reference_matches == 89
+    assert counter_total(res, "sched.failover_count") == 1
+
+
+# ---------------------------------------------------------------------------
+# working-node crash -> heartbeat detection -> range re-stream
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_working_node_crash_during_build_recovers(algorithm):
+    """Join node 0 (an *initial* node, activated from the start) crashes
+    while the build stream is live; the detector declares it, the range
+    collapses onto a recruit and the sources replay from their cursors."""
+    plan = membership_plan(crashes=(CrashSpec(node=0, at_phase="build"),))
+    res = run_with(algorithm, plan)
+    assert res.matches == res.reference_matches == 89
+    assert counter_total(res, "membership.deaths_declared") >= 1
+    assert counter_total(res, "sched.recovery_cycles") >= 1
+    assert counter_total(res, "sched.failover_count") == 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_working_node_crash_during_probe_recovers(algorithm):
+    """Probe-phase crash: the stored build range is gone mid-probe, so
+    recovery must rebuild it *and* re-cover the probe tuples the dead
+    node absorbed.  Split needs pool headroom (it expands to 24 nodes on
+    this workload); the replicate-chain case drives the target past its
+    memory budget, exercising the spill degradation mid-replay."""
+    pool = 32 if algorithm is Algorithm.SPLIT else 16
+    plan = membership_plan(crashes=(CrashSpec(node=0, at_phase="probe"),))
+    res = run_with(algorithm, plan, pool=pool)
+    assert res.matches == res.reference_matches == 89
+    assert counter_total(res, "sched.recovery_cycles") >= 1
+    assert counter_total(res, "sched.failover_count") == 0
+
+
+@pytest.mark.chaos
+def test_probe_crash_with_exhausted_pool_is_unrecoverable():
+    """No spare node to adopt the dead node's range -> documented abort,
+    not a hang or a wrong answer (split uses the whole default pool)."""
+    plan = membership_plan(crashes=(CrashSpec(node=0, at_phase="probe"),))
+    with pytest.raises(Exception, match="pool exhausted"):
+        run_with(Algorithm.SPLIT, plan)
+
+
+# ---------------------------------------------------------------------------
+# false positives: suspicion without death
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+def test_slow_link_false_suspicion_never_aborts_the_query():
+    """A drastically slowed ack link makes join node 0 (global id 3)
+    look dead past the suspect timeout.  With the confirm timeout still
+    generous the late acks must clear every suspicion: no death verdict,
+    no failover, exact counts — the false positive is observable only as
+    a metric."""
+    plan = FaultPlan(
+        membership=True,
+        heartbeat_interval_s=0.01,
+        suspect_timeout_s=0.03,
+        confirm_timeout_s=30.0,
+        slowdowns=(
+            LinkSlowdown(t0=0.02, t1=0.2, factor=50_000.0, src=3, dst=0),
+        ),
+    )
+    res = run_with(Algorithm.HYBRID, plan)
+    assert res.matches == res.reference_matches == 89
+    assert counter_total(res, "membership.suspected") >= 1
+    assert counter_total(res, "membership.false_positive") >= 1
+    assert counter_total(res, "membership.deaths_declared") == 0
+    assert counter_total(res, "sched.failover_count") == 0
+
+
+@pytest.mark.chaos
+def test_membership_under_chaos_links_stays_exact():
+    """Detector armed on a lossy fabric with no crash at all: dropped
+    heartbeats must not translate into deaths under default timeouts."""
+    plan = FaultPlan(
+        membership=True, heartbeat_interval_s=0.01,
+        drop_prob=0.02, ack_drop_prob=0.02, seed=11,
+    )
+    res = run_with(Algorithm.HYBRID, plan)
+    assert res.matches == res.reference_matches == 89
+    assert counter_total(res, "membership.deaths_declared") == 0
+    assert counter_total(res, "sched.failover_count") == 0
+    # the dedup-window gauge (satellite: bounded _seen_seqs) is exported
+    assert any(
+        inst["name"] == "node.dedup_window" and inst["type"] == "gauge"
+        for inst in res.metrics
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def cli_small(extra):
+    return extra + [
+        "--r-tuples", "0.004", "--s-tuples", "0.004",
+        "--scale", "1.0", "--chunk-tuples", "200",
+        "--pool", "8", "--sources", "2", "--node-memory-mb", "0.04",
+    ]
+
+
+@pytest.mark.chaos
+def test_cli_run_with_scheduler_kill(capsys):
+    rc = main(cli_small([
+        "run", "--algorithm", "hybrid", "--initial-nodes", "2",
+        "--kill-scheduler-at", "0.03", "--heartbeat-interval", "0.01",
+    ]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "hybrid" in out
+
+
+def test_cli_workload_rejects_membership_flags(capsys):
+    rc = main(["workload", "--queries", "1", "--membership"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "single-query only" in err
+
+
+def test_cli_workload_rejects_kill_scheduler(capsys):
+    rc = main(["workload", "--queries", "1", "--kill-scheduler-at", "1.0"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "single-query only" in err
+
+
+def test_cli_arrival_times_tolerates_trailing_comma(capsys):
+    rc = main([
+        "workload", "--queries", "2", "--mix", "hybrid:1:0.004:0.004:2",
+        "--pool", "8", "--sources", "2", "--node-memory-mb", "0.04",
+        "--scale", "1.0", "--arrival-times", " 0.0, 0.5, ",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "queries" in out
+
+
+def test_cli_arrival_times_bad_segment_is_a_friendly_error(capsys):
+    rc = main([
+        "workload", "--queries", "1", "--arrival-times", "1.0,abc,2.0",
+    ])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "--arrival-times" in err
+    assert "'abc'" in err

@@ -20,6 +20,7 @@ import pytest
 
 import repro.core.datasource
 import repro.core.joinnode
+import repro.core.membership
 import repro.core.ooc
 import repro.core.pool
 import repro.core.replicate
@@ -37,6 +38,7 @@ DISPATCH_MODULES = (
     repro.core.replicate,
     repro.core.ooc,
     repro.core.pool,
+    repro.core.membership,
 )
 
 

@@ -40,7 +40,7 @@ def feed_round(sched, reports):
 
 def test_balanced_identical_rounds_drain():
     sched = make_sched()
-    sched._source_chunks["R"] = 10
+    sched._source_chunk_maps["R"] = {0: 6, 1: 4}
     round_ = [report(0, 0, rb=6, pb=6, eb=1),
               report(1, 0, rb=5, pb=5, eb=0)]
     feed_round(sched, round_)
@@ -51,7 +51,7 @@ def test_balanced_identical_rounds_drain():
 
 def test_imbalance_never_drains():
     sched = make_sched()
-    sched._source_chunks["R"] = 10
+    sched._source_chunk_maps["R"] = {0: 5, 1: 5}
     # one chunk still in flight: received < sent
     round_ = [report(0, 0, rb=5, pb=5, eb=0),
               report(1, 0, rb=4, pb=4, eb=0)]
@@ -62,7 +62,7 @@ def test_imbalance_never_drains():
 
 def test_busy_node_blocks_drain():
     sched = make_sched()
-    sched._source_chunks["R"] = 10
+    sched._source_chunk_maps["R"] = {0: 6, 1: 4}
     round_ = [report(0, 0, rb=6, pb=6, eb=1, busy=True),
               report(1, 0, rb=5, pb=5, eb=0)]
     feed_round(sched, round_)
@@ -72,7 +72,7 @@ def test_busy_node_blocks_drain():
 
 def test_changing_counters_reset_stability():
     sched = make_sched()
-    sched._source_chunks["R"] = 10
+    sched._source_chunk_maps["R"] = {0: 6, 1: 4}
     feed_round(sched, [report(0, 0, rb=5, pb=5, eb=0),
                        report(1, 0, rb=4, pb=4, eb=0)])
     # activity happened: now balanced, but this is the FIRST balanced round
@@ -86,7 +86,7 @@ def test_changing_counters_reset_stability():
 
 def test_stale_token_reports_are_ignored():
     sched = make_sched()
-    sched._source_chunks["R"] = 1
+    sched._source_chunk_maps["R"] = {0: 1}
     sched._poll_token = 5
     sched._round_nodes = (0, 1)
     sched._round_reports = {}
@@ -100,7 +100,7 @@ def test_stale_token_reports_are_ignored():
 
 def test_expansion_during_round_discards_it():
     sched = make_sched()
-    sched._source_chunks["R"] = 11
+    sched._source_chunk_maps["R"] = {0: 6, 1: 5}
     feed_round(sched, [report(0, 0, rb=6, pb=6, eb=1),
                        report(1, 0, rb=5, pb=5, eb=0)])
     # a node was recruited after the round was requested
@@ -114,7 +114,7 @@ def test_memory_full_resets_previous_round():
     from repro.core.messages import MemoryFull
 
     sched = make_sched()
-    sched._source_chunks["R"] = 10
+    sched._source_chunk_maps["R"] = {0: 6, 1: 4}
     round_ = [report(0, 0, rb=6, pb=6, eb=1),
               report(1, 0, rb=5, pb=5, eb=0)]
     feed_round(sched, round_)
@@ -129,7 +129,7 @@ def test_probe_phase_balance_includes_emitted_probe():
     sched = make_sched()
     sched._phase = "probe"
     sched._source_done["S"] = set(range(sched.ctx.n_sources))
-    sched._source_chunks["S"] = 4
+    sched._source_chunk_maps["S"] = {0: 4}
 
     def probe_report(node, rp, pp, ep):
         return StatusReport(node=node, token=0, received_build=0,

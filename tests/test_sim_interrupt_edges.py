@@ -150,3 +150,43 @@ def test_run_until_cannot_move_time_backwards():
         sim.run(until=5.0)
     sim.run(until=10.0)  # equal is fine
     assert sim.now == 10.0
+
+
+def test_interrupted_grab_waiter_does_not_leak_slot():
+    """grab() is the interrupt-safe bare acquire: a waiter killed while
+    queued must withdraw its request, or the next release hands the slot
+    to the corpse and the resource is held forever."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim, res):
+        yield from res.use(10.0)
+
+    def doomed(sim, res):
+        try:
+            yield from res.grab()
+        except Interrupt:
+            order.append(("interrupted", sim.now))
+            return
+        res.release()
+
+    def patient(sim, res):
+        yield sim.timeout(2.0)
+        yield from res.grab()
+        order.append(("patient", sim.now))
+        res.release()
+
+    sim.spawn(holder(sim, res))
+    d = sim.spawn(doomed(sim, res))
+    sim.spawn(patient(sim, res))
+
+    def killer(sim, target):
+        yield sim.timeout(1.0)
+        target.interrupt()
+
+    sim.spawn(killer(sim, d))
+    sim.run()
+    assert ("interrupted", 1.0) in order
+    assert ("patient", 10.0) in order
+    assert res.in_use == 0
