@@ -32,7 +32,7 @@ from typing import Any
 
 import numpy as np
 
-from ..data import RelationStream
+from ..data import ChunkBuffer, RelationStream
 from ..hashing import Router
 from .context import RunContext
 from .messages import (
@@ -50,55 +50,6 @@ from .messages import (
 __all__ = ["DataSourceProcess"]
 
 
-class _Buffers:
-    """Per-destination tuple buffers with fixed-size chunk flushing."""
-
-    def __init__(self, chunk_tuples: int) -> None:
-        self.chunk_tuples = chunk_tuples
-        self._parts: dict[int, list[np.ndarray]] = {}
-        self._counts: dict[int, int] = {}
-
-    def append(self, dest: int, values: np.ndarray) -> None:
-        if values.size == 0:
-            return
-        self._parts.setdefault(dest, []).append(values)
-        self._counts[dest] = self._counts.get(dest, 0) + int(values.size)
-
-    def pop_full_chunk(self, dest: int) -> np.ndarray | None:
-        """Remove exactly ``chunk_tuples`` tuples if available."""
-        if self._counts.get(dest, 0) < self.chunk_tuples:
-            return None
-        pool = np.concatenate(self._parts[dest])
-        chunk, rest = pool[: self.chunk_tuples], pool[self.chunk_tuples:]
-        self._parts[dest] = [rest] if rest.size else []
-        self._counts[dest] = int(rest.size)
-        return chunk
-
-    def pop_all(self, dest: int) -> np.ndarray | None:
-        if self._counts.get(dest, 0) == 0:
-            return None
-        pool = np.concatenate(self._parts[dest])
-        self._parts[dest] = []
-        self._counts[dest] = 0
-        return pool
-
-    def destinations(self) -> list[int]:
-        return sorted(d for d, c in self._counts.items() if c > 0)
-
-    def drain_everything(self) -> np.ndarray:
-        """Remove and return every buffered tuple (for re-partitioning)."""
-        pools = [np.concatenate(p) for p in self._parts.values() if p]
-        self._parts.clear()
-        self._counts.clear()
-        if not pools:
-            return np.empty(0, dtype=np.uint64)
-        return np.concatenate(pools)
-
-    @property
-    def total_buffered(self) -> int:
-        return sum(self._counts.values())
-
-
 class DataSourceProcess:
     """One data source; drive with ``sim.spawn(proc.run())``."""
 
@@ -108,6 +59,11 @@ class DataSourceProcess:
         self.node = ctx.source_node(source_index)
         self.router = initial_router
         self.chunk_tuples = ctx.cfg.workload.real_chunk_tuples
+        #: generation/replay batches pushed through the router (wall-clock
+        #: visibility into the columnar data plane; see docs/DATA_PLANE.md)
+        self.chunks_routed = ctx.metrics.counter(
+            "dataplane.chunks_routed", node=self.node.name
+        )
         # per-relation per-destination send counters (drain ground truth)
         self.chunks_sent: dict[str, dict[int, int]] = {"R": {}, "S": {}}
         self.tuples_sent: dict[str, dict[int, int]] = {"R": {}, "S": {}}
@@ -165,7 +121,7 @@ class DataSourceProcess:
     ) -> Generator[Any, Any, None]:
         ctx = self.ctx
         cost = ctx.cost
-        buffers = _Buffers(self.chunk_tuples)
+        buffers = ChunkBuffer(self.chunk_tuples)
 
         for batch in stream.batches():
             if ctx.cfg.sources_from_disk:
@@ -196,11 +152,12 @@ class DataSourceProcess:
                 yield from self._send_chunk(dest, relation, values, probe)
 
     def _route_into(
-        self, buffers: _Buffers, values: np.ndarray, relation: str, probe: bool
+        self, buffers: ChunkBuffer, values: np.ndarray, relation: str, probe: bool
     ) -> Generator[Any, Any, None]:
         if values.size == 0:
             return
         ctx = self.ctx
+        self.chunks_routed.inc()
         yield from self.node.compute_per_tuple(ctx.cost.cpu_route_tuple, values.size)
         positions = ctx.posmap(values)
         if probe:
@@ -212,7 +169,7 @@ class DataSourceProcess:
         for dest, idx in sorted(parts.items()):
             buffers.append(dest, values[idx])
 
-    def _flush_full(self, buffers: _Buffers, relation: str) -> Generator[Any, Any, None]:
+    def _flush_full(self, buffers: ChunkBuffer, relation: str) -> Generator[Any, Any, None]:
         for dest in buffers.destinations():
             while True:
                 chunk = buffers.pop_full_chunk(dest)
@@ -263,7 +220,7 @@ class DataSourceProcess:
                 self.node.mailbox.put(msg)
         return changed
 
-    def _drain_control(self, buffers: _Buffers) -> Generator[Any, Any, None]:
+    def _drain_control(self, buffers: ChunkBuffer) -> Generator[Any, Any, None]:
         """Act on control collected by :meth:`_absorb_control`."""
         if self._reannounce:
             self._reannounce = False
@@ -319,7 +276,7 @@ class DataSourceProcess:
     # crash-recovery replay
     # ------------------------------------------------------------------
     def _execute_replay(
-        self, order: ReplayOrder, buffers: _Buffers | None
+        self, order: ReplayOrder, buffers: ChunkBuffer | None
     ) -> Generator[Any, Any, None]:
         """Re-stream the recovery target's share of this source's prefix.
 
@@ -350,7 +307,7 @@ class DataSourceProcess:
         yield from ctx.send(self.node, ctx.scheduler_node, done)
 
     def _requeue_excluding(
-        self, buffers: _Buffers, pool: np.ndarray, order: ReplayOrder
+        self, buffers: ChunkBuffer, pool: np.ndarray, order: ReplayOrder
     ) -> Generator[Any, Any, None]:
         """Re-buffer ``pool`` under the live table, minus the replay's share.
 
@@ -361,6 +318,7 @@ class DataSourceProcess:
             return
         ctx = self.ctx
         assert order.router is not None
+        self.chunks_routed.inc()
         yield from self.node.compute_per_tuple(ctx.cost.cpu_route_tuple, pool.size)
         positions = ctx.posmap(pool)
         if order.relation == "S":
@@ -396,9 +354,7 @@ class DataSourceProcess:
         tuples = 0
         held: list[np.ndarray] = []
         pending = 0
-        for i, batch in enumerate(stream.batches()):
-            if i >= limit:
-                break
+        for batch in stream.batches(limit=limit):
             if ctx.cfg.sources_from_disk:
                 yield from self.node.disk.read(
                     int(batch.size) * wl.tuple_bytes
@@ -407,6 +363,7 @@ class DataSourceProcess:
                 yield from self.node.compute_per_tuple(
                     ctx.cost.cpu_generate_tuple, batch.size
                 )
+            self.chunks_routed.inc()
             yield from self.node.compute_per_tuple(
                 ctx.cost.cpu_route_tuple, batch.size
             )

@@ -23,6 +23,7 @@ from typing import Any
 
 import numpy as np
 
+from ..data import chunk_slices
 from ..hashing import HashRange, NodeHashStore
 from ..seqjoin import match_count
 from ..sim import Interrupt
@@ -201,6 +202,9 @@ class JoinProcess:
         )
         self.store.match_counter = ctx.metrics.counter(
             "hash.matches", node=self.node.name
+        )
+        self.store.probe_rows_counter = ctx.metrics.counter(
+            "dataplane.bulk_probe_rows", node=self.node.name
         )
         self.spill: SpillStore | None = None
         self.my_range: HashRange | None = None
@@ -655,8 +659,8 @@ class JoinProcess:
             yield from self.ctx.split_transfer_token.grab()
         try:
             chunk_tuples = self.ctx.cfg.workload.real_chunk_tuples
-            for off in range(0, int(values.size), chunk_tuples):
-                part = values[off: off + chunk_tuples]
+            for lo, hi in chunk_slices(int(values.size), chunk_tuples):
+                part = values[lo:hi]
                 self.emitted_build += 1
                 self._emitted_build_by_dest[dest] = (
                     self._emitted_build_by_dest.get(dest, 0) + 1
@@ -973,8 +977,6 @@ class JoinProcess:
         cfg = self.ctx.cfg
         try:
             chunk_pairs = cfg.workload.real_chunk_tuples
-            import numpy as _np
-
             while pairs > 0:
                 n = min(pairs, chunk_pairs)
                 pairs -= n
@@ -982,7 +984,7 @@ class JoinProcess:
                 yield from self.ctx.send(
                     self.node,
                     self.ctx.join_node(dest),
-                    DataChunk("O", _np.zeros(n, dtype=_np.uint64),
+                    DataChunk("O", np.zeros(n, dtype=np.uint64),
                               cfg.output_pair_bytes, hop=Hop.OUTPUT,
                               origin=self.node.node_id),
                     parent=cause,

@@ -7,14 +7,20 @@ cost via ``WorkloadSpec.tuple_bytes`` but never read by any algorithm, so
 omitting their bits changes nothing observable.
 """
 
+from .chunks import KEY_DTYPE, ChunkBuffer, as_key_chunk, chunk_slices, empty_chunk
 from .distributions import VALUE_BITS, VALUE_SPACE, draw_values
 from .relation import RelationStream, materialize_relation, source_share
 
 __all__ = [
+    "KEY_DTYPE",
     "VALUE_BITS",
     "VALUE_SPACE",
+    "ChunkBuffer",
     "RelationStream",
+    "as_key_chunk",
+    "chunk_slices",
     "draw_values",
+    "empty_chunk",
     "materialize_relation",
     "source_share",
 ]

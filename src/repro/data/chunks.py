@@ -1,0 +1,150 @@
+"""The columnar chunk format: the unit every hot path moves data in.
+
+Relations flow through the system as **key chunks** — C-contiguous NumPy
+``uint64`` arrays of join-attribute values, one array per communication
+chunk.  Every stage of the data plane (generation, hashing, routing,
+build insert, probe matching, split migration, spill partitioning)
+operates on whole chunks with vectorized NumPy kernels; no hot path ever
+touches a Python tuple object.  docs/DATA_PLANE.md specifies the format,
+its ownership rules, and the argument for why per-chunk cost accounting
+reproduces the paper's per-tuple model exactly.
+
+This module is the *single* validation chokepoint: :func:`as_key_chunk`
+is the only place a foreign array is admitted into the data plane, and it
+either returns a lossless ``uint64`` view/copy or raises — atomically,
+before any downstream state is touched.  Once a chunk is inside, every
+stage may assume ``KEY_DTYPE`` without re-checking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = [
+    "KEY_DTYPE",
+    "as_key_chunk",
+    "empty_chunk",
+    "chunk_slices",
+    "ChunkBuffer",
+]
+
+#: the one dtype join-attribute columns are allowed to have inside the
+#: data plane (64-bit keys, matching the paper's 64-bit join attributes)
+KEY_DTYPE = np.dtype(np.uint64)
+
+
+def as_key_chunk(values: np.ndarray) -> np.ndarray:
+    """Validate/coerce one chunk of join attributes to ``KEY_DTYPE``.
+
+    The data plane relies on every chunk sharing one dtype — a
+    mixed-dtype concatenation would silently up-cast to float64 and
+    corrupt large keys.  Coercion must be lossless: a value that does not
+    round-trip through uint64 (negative, non-finite, fractional, or too
+    large) raises instead of joining on a mangled key.  Validation is
+    all-or-nothing — the function raises before returning anything, so a
+    caller ingesting several chunks can validate them all first and only
+    then mutate its own state (see :meth:`NodeHashStore.insert_chunks`).
+    """
+    values = np.asarray(values)
+    if values.dtype == KEY_DTYPE:
+        return values
+    if values.dtype.kind not in "uif":
+        raise TypeError(
+            f"join attributes must be numeric, got dtype {values.dtype}"
+        )
+    if values.dtype.kind == "f" and values.size:
+        if not np.isfinite(values).all():
+            raise ValueError("join attributes must be finite")
+        if (values >= 2.0 ** 64).any():
+            raise ValueError("join attributes exceed the uint64 range")
+    if values.dtype.kind in "if" and values.size and (values < 0).any():
+        raise ValueError("join attributes must be non-negative")
+    cast = values.astype(np.uint64)
+    if values.size and not np.array_equal(cast.astype(values.dtype), values):
+        raise ValueError(
+            f"lossy conversion of join attributes from {values.dtype} to uint64"
+        )
+    return cast
+
+
+def empty_chunk() -> np.ndarray:
+    """A zero-length key chunk (the canonical 'no tuples' value)."""
+    return np.empty(0, dtype=KEY_DTYPE)
+
+
+def chunk_slices(total: int, chunk_tuples: int) -> Iterator[tuple[int, int]]:
+    """``(lo, hi)`` spans cutting ``total`` rows into chunk-sized pieces.
+
+    The last span may be short; ``total == 0`` yields nothing.  Used by
+    every path that re-chunks a large array for the wire (split
+    transfers, replay streams), so chunk-count accounting — what the
+    simulator charges per-message costs on — is defined in one place.
+    """
+    if chunk_tuples < 1:
+        raise ValueError(f"chunk_tuples must be >= 1, got {chunk_tuples}")
+    for lo in range(0, total, chunk_tuples):
+        yield lo, min(lo + chunk_tuples, total)
+
+
+class ChunkBuffer:
+    """Per-destination columnar accumulation with fixed-size chunk flushing.
+
+    Data sources (and anything else that re-partitions a stream) append
+    index-selected slices of generation batches per destination; the
+    buffer consolidates them lazily and hands back exactly
+    ``chunk_tuples``-sized chunks for the wire.  Appended arrays are
+    *owned* by the buffer (callers must not mutate them afterwards) and
+    are assumed to already be key chunks — admission validation happens
+    upstream at :func:`as_key_chunk`.
+    """
+
+    def __init__(self, chunk_tuples: int) -> None:
+        if chunk_tuples < 1:
+            raise ValueError(f"chunk_tuples must be >= 1, got {chunk_tuples}")
+        self.chunk_tuples = chunk_tuples
+        self._parts: dict[int, list[np.ndarray]] = {}
+        self._counts: dict[int, int] = {}
+
+    def append(self, dest: int, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        self._parts.setdefault(dest, []).append(values)
+        self._counts[dest] = self._counts.get(dest, 0) + int(values.size)
+
+    def pop_full_chunk(self, dest: int) -> np.ndarray | None:
+        """Remove exactly ``chunk_tuples`` tuples if available."""
+        if self._counts.get(dest, 0) < self.chunk_tuples:
+            return None
+        pool = np.concatenate(self._parts[dest])
+        chunk, rest = pool[: self.chunk_tuples], pool[self.chunk_tuples:]
+        self._parts[dest] = [rest] if rest.size else []
+        self._counts[dest] = int(rest.size)
+        return chunk
+
+    def pop_all(self, dest: int) -> np.ndarray | None:
+        """Remove and return everything buffered for one destination."""
+        if self._counts.get(dest, 0) == 0:
+            return None
+        pool = np.concatenate(self._parts[dest])
+        self._parts[dest] = []
+        self._counts[dest] = 0
+        return pool
+
+    def destinations(self) -> list[int]:
+        """Destinations with at least one buffered tuple, ascending."""
+        return sorted(d for d, c in self._counts.items() if c > 0)
+
+    def drain_everything(self) -> np.ndarray:
+        """Remove and return every buffered tuple (for re-partitioning)."""
+        pools = [np.concatenate(p) for p in self._parts.values() if p]
+        self._parts.clear()
+        self._counts.clear()
+        if not pools:
+            return empty_chunk()
+        return np.concatenate(pools)
+
+    @property
+    def total_buffered(self) -> int:
+        return sum(self._counts.values())

@@ -57,19 +57,36 @@ class RelationStream:
         )
         return np.random.default_rng(root)
 
-    def batches(self) -> Iterator[np.ndarray]:
+    @property
+    def n_batches(self) -> int:
+        """Generation batches this source will yield (ceil division)."""
+        batch = self.spec.real_chunk_tuples
+        return -(-self.total_tuples // batch)
+
+    def batches(self, limit: int | None = None) -> Iterator[np.ndarray]:
         """Generation batches of join-attribute values (uint64 arrays).
 
         Batch size equals the communication chunk size: the source fills
         its per-destination buffers one generation batch at a time.
+
+        ``limit`` stops after that many batches without drawing the rest —
+        a pure wall-clock saving for replay cursors (each call uses a
+        fresh seeded RNG, so a truncated iteration is a prefix of the
+        full one).
         """
+        if limit is not None and limit <= 0:
+            return
         rng = self._rng()
         remaining = self.total_tuples
         batch = self.spec.real_chunk_tuples
+        produced = 0
         while remaining > 0:
             n = min(batch, remaining)
             yield draw_values(rng, n, self.spec, relation=self.relation)
             remaining -= n
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
 
 
 def materialize_relation(spec: WorkloadSpec, relation: str, n_sources: int) -> np.ndarray:

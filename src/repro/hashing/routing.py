@@ -29,6 +29,9 @@ __all__ = ["Router", "RangeRouter", "LinearHashRouter"]
 
 def _group_indices(keys: np.ndarray, n_groups: int) -> list[np.ndarray]:
     """Stable-partition ``arange(len(keys))`` by integer key in [0, n_groups)."""
+    if n_groups == 1:
+        # One group: every key is 0 and the stable order is the identity.
+        return [np.arange(keys.size, dtype=np.intp)]
     order = np.argsort(keys, kind="stable")
     sorted_keys = keys[order]
     cuts = np.searchsorted(sorted_keys, np.arange(n_groups + 1))
@@ -99,6 +102,9 @@ class RangeRouter(Router):
 
     # ------------------------------------------------------------------
     def _range_indices(self, positions: np.ndarray) -> list[np.ndarray]:
+        if len(self.entries) == 1:
+            # Single range owning the whole space: no search needed.
+            return [np.arange(positions.size, dtype=np.intp)]
         bounds: np.ndarray = self._bounds  # type: ignore[attr-defined]
         keys = np.searchsorted(bounds, positions, side="right") - 1
         return _group_indices(keys, len(self.entries))

@@ -1,8 +1,11 @@
 """Per-join-node hash-table storage with vectorized probe.
 
 Stores the build-relation tuples a node has accepted.  Values are appended
-chunk-wise (cheap) and consolidated into a sorted array lazily when the
-probe phase — or a split extraction — needs ordered access.
+chunk-wise (cheap) and consolidated into a deduplicated ``(unique values,
+counts)`` pair lazily when the probe phase — or a split extraction — needs
+ordered access.  Probing a chunk is then one ``np.searchsorted`` over the
+unique values (typically far smaller than the raw store) plus a gather of
+the match counts; see docs/DATA_PLANE.md §probe for the cost argument.
 
 Only the 64-bit join attributes are materialized; payload/index bytes are
 charged to the node's :class:`~repro.cluster.memory.MemoryAccount` by the
@@ -11,45 +14,15 @@ join process (see DESIGN.md §2 on accounted-but-not-materialized bytes).
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from typing import Any
 
 import numpy as np
 
+from ..data.chunks import as_key_chunk, empty_chunk
 from .hashfn import PositionMap
 
 __all__ = ["NodeHashStore"]
-
-
-def _as_uint64(values: np.ndarray) -> np.ndarray:
-    """Validate/coerce a chunk of join attributes to uint64.
-
-    The store's probe path relies on every chunk sharing one dtype — a
-    mixed-dtype concatenation would silently up-cast to float64 and
-    corrupt large keys.  Coercion must be lossless: a value that does not
-    round-trip through uint64 (negative, non-finite, fractional, or too
-    large) raises instead of joining on a mangled key.
-    """
-    values = np.asarray(values)
-    if values.dtype == np.uint64:
-        return values
-    if values.dtype.kind not in "uif":
-        raise TypeError(
-            f"join attributes must be numeric, got dtype {values.dtype}"
-        )
-    if values.dtype.kind == "f" and values.size:
-        if not np.isfinite(values).all():
-            raise ValueError("join attributes must be finite")
-        if (values >= 2.0 ** 64).any():
-            raise ValueError("join attributes exceed the uint64 range")
-    if values.dtype.kind in "if" and values.size and (values < 0).any():
-        raise ValueError("join attributes must be non-negative")
-    cast = values.astype(np.uint64)
-    if values.size and not np.array_equal(cast.astype(values.dtype), values):
-        raise ValueError(
-            f"lossy conversion of join attributes from {values.dtype} to uint64"
-        )
-    return cast
 
 
 class NodeHashStore:
@@ -58,12 +31,14 @@ class NodeHashStore:
     def __init__(self, posmap: PositionMap) -> None:
         self.posmap = posmap
         self._chunks: list[np.ndarray] = []
-        self._sorted: np.ndarray | None = None
+        self._uniq: np.ndarray | None = None
+        self._ucounts: np.ndarray | None = None
         self._count = 0
         #: optional metric counters (objects with ``inc(n)``; wired by the
         #: owning join process)
         self.inserted_counter: Any | None = None
         self.match_counter: Any | None = None
+        self.probe_rows_counter: Any | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -76,28 +51,50 @@ class NodeHashStore:
         Raises ``TypeError``/``ValueError`` unless ``values`` is — or
         losslessly coerces to — a uint64 array.
         """
-        values = _as_uint64(values)
-        if values.size == 0:
+        self.insert_chunks([values])
+
+    def insert_chunks(self, chunks: Sequence[np.ndarray]) -> None:
+        """Atomically append several chunks of build tuples.
+
+        Every chunk is validated through
+        :func:`repro.data.chunks.as_key_chunk` *before* any of them is
+        appended, so a mixed-dtype or lossy chunk anywhere in the batch
+        rejects the whole ingest without partially applying it.
+        """
+        validated = [as_key_chunk(c) for c in chunks]
+        added = 0
+        for values in validated:
+            if values.size == 0:
+                continue
+            self._chunks.append(values)
+            added += int(values.size)
+        if added == 0:
             return
-        self._chunks.append(values)
-        self._count += int(values.size)
-        self._sorted = None
+        self._count += added
+        self._uniq = None
+        self._ucounts = None
         if self.inserted_counter is not None:
-            self.inserted_counter.inc(int(values.size))
+            self.inserted_counter.inc(added)
 
     # ------------------------------------------------------------------
     def _all_values(self) -> np.ndarray:
         if len(self._chunks) == 0:
-            return np.empty(0, dtype=np.uint64)
+            return empty_chunk()
         if len(self._chunks) > 1:
             self._chunks = [np.concatenate(self._chunks)]
         return self._chunks[0]
 
     def finalize(self) -> None:
-        """Sort stored values for O(log n) probing (idempotent)."""
-        if self._sorted is None:
-            values = self._all_values()
-            self._sorted = np.sort(values)
+        """Consolidate stored values into (unique, counts) for probing.
+
+        Idempotent; invalidated by any mutation (insert/extract).  The
+        deduplicated form makes each probe chunk cost one binary-search
+        pass over ``|unique|`` elements instead of two over ``|stored|``.
+        """
+        if self._uniq is None:
+            self._uniq, self._ucounts = np.unique(
+                self._all_values(), return_counts=True
+            )
 
     def probe(self, values: np.ndarray) -> int:
         """Number of join matches between ``values`` and the stored tuples.
@@ -105,13 +102,20 @@ class NodeHashStore:
         Equi-join semantics: a probe tuple matches every stored tuple with
         an equal join attribute, so the result counts pairs.
         """
+        values = as_key_chunk(values)
+        if self.probe_rows_counter is not None and values.size:
+            self.probe_rows_counter.inc(int(values.size))
         if values.size == 0 or self._count == 0:
             return 0
         self.finalize()
-        assert self._sorted is not None
-        left = np.searchsorted(self._sorted, values, side="left")
-        right = np.searchsorted(self._sorted, values, side="right")
-        found = int((right - left).sum())
+        assert self._uniq is not None and self._ucounts is not None
+        # Sorting the probe chunk first keeps the searchsorted walk
+        # cache-local; the total is order-independent so this is free.
+        queries = np.sort(values)
+        idx = np.searchsorted(self._uniq, queries, side="left")
+        np.minimum(idx, self._uniq.size - 1, out=idx)
+        hit = self._uniq[idx] == queries
+        found = int(self._ucounts[idx[hit]].sum())
         if self.match_counter is not None and found:
             self.match_counter.inc(found)
         return found
@@ -124,13 +128,14 @@ class NodeHashStore:
         ``predicate(positions) -> bool mask``."""
         values = self._all_values()
         if values.size == 0:
-            return np.empty(0, dtype=np.uint64)
+            return empty_chunk()
         mask = predicate(self.posmap(values))
         out = values[mask]
         keep = values[~mask]
         self._chunks = [keep] if keep.size else []
         self._count = int(keep.size)
-        self._sorted = None
+        self._uniq = None
+        self._ucounts = None
         return out
 
     def extract_position_range(self, lo: int, hi: int) -> np.ndarray:

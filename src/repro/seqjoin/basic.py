@@ -41,13 +41,21 @@ def hash_join_count(r_values: np.ndarray, s_values: np.ndarray, n_buckets: int =
 
 
 def match_count(r_values: np.ndarray, s_values: np.ndarray) -> int:
-    """Exact equi-join pair count, vectorized (the reference oracle)."""
+    """Exact equi-join pair count, vectorized (the reference oracle).
+
+    Deduplicating R first (unique + counts) makes the binary-search pass
+    walk ``|unique(R)|`` elements instead of ``|R|``, and sorting the
+    probe side keeps that walk cache-local — same trick as
+    ``NodeHashStore.probe``; the count is order-independent.
+    """
     if r_values.size == 0 or s_values.size == 0:
         return 0
-    r_sorted = np.sort(r_values)
-    left = np.searchsorted(r_sorted, s_values, side="left")
-    right = np.searchsorted(r_sorted, s_values, side="right")
-    return int((right - left).sum())
+    r_uniq, r_counts = np.unique(r_values, return_counts=True)
+    queries = np.sort(s_values)
+    idx = np.searchsorted(r_uniq, queries, side="left")
+    np.minimum(idx, r_uniq.size - 1, out=idx)
+    hit = r_uniq[idx] == queries
+    return int(r_counts[idx[hit]].sum())
 
 
 def match_count_by_value(r_values: np.ndarray, s_values: np.ndarray) -> dict[int, int]:

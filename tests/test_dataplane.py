@@ -1,0 +1,288 @@
+"""The columnar data plane (docs/DATA_PLANE.md).
+
+Property tests for the chunk format and the vectorized kernels: the bulk
+probe/route/build paths must agree exactly with straightforward
+per-tuple reference implementations, chunk admission must be atomic, and
+the whole-system simulated-time series must be invariant to everything
+the data plane is allowed to vary (and byte-stable run to run) — the
+per-chunk == per-tuple cost-equivalence argument of DATA_PLANE.md §3,
+checked end to end for all four algorithms plus one chaos run.
+"""
+
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from tests.conftest import small_cluster, small_config, small_workload
+from repro.config import Algorithm
+from repro.core import run_join
+from repro.data import (
+    KEY_DTYPE,
+    ChunkBuffer,
+    RelationStream,
+    as_key_chunk,
+    chunk_slices,
+)
+from repro.faults import CrashSpec, FaultPlan
+from repro.hashing import NodeHashStore, PositionMap
+from repro.hashing.routing import _group_indices
+
+REPO = Path(__file__).resolve().parent.parent
+
+uint64_arrays = hnp.arrays(
+    dtype=np.uint64,
+    shape=st.integers(0, 400),
+    elements=st.integers(0, 2**64 - 1),
+)
+small_key_arrays = hnp.arrays(
+    dtype=np.uint64,
+    shape=st.integers(0, 300),
+    elements=st.integers(0, 50),  # dense keys -> many duplicate matches
+)
+
+
+def counter_total(res, name, **labels):
+    return sum(
+        inst["value"] for inst in res.metrics
+        if inst["name"] == name and inst["type"] == "counter"
+        and all(inst["labels"].get(k) == v for k, v in labels.items())
+    )
+
+
+# ----------------------------------------------------------------------
+# bulk probe == per-tuple reference
+# ----------------------------------------------------------------------
+def per_tuple_probe(stored: np.ndarray, probes: np.ndarray) -> int:
+    """The per-tuple ancestor: one dict lookup per probe tuple."""
+    table = Counter(stored.tolist())
+    return sum(table[v] for v in probes.tolist())
+
+
+def two_pass_probe(stored: np.ndarray, probes: np.ndarray) -> int:
+    """The previous vectorized implementation (two searchsorted passes)."""
+    if stored.size == 0 or probes.size == 0:
+        return 0
+    s = np.sort(stored)
+    left = np.searchsorted(s, probes, side="left")
+    right = np.searchsorted(s, probes, side="right")
+    return int((right - left).sum())
+
+
+@given(stored=small_key_arrays, probes=small_key_arrays)
+@settings(max_examples=200, deadline=None)
+def test_bulk_probe_matches_both_references(stored, probes):
+    store = NodeHashStore(PositionMap(1 << 10))
+    store.insert(stored)
+    got = store.probe(probes)
+    assert got == per_tuple_probe(stored, probes)
+    assert got == two_pass_probe(stored, probes)
+
+
+@given(stored=small_key_arrays, probes=small_key_arrays,
+       cut=st.integers(0, 300))
+@settings(max_examples=100, deadline=None)
+def test_probe_count_invariant_to_chunking(stored, probes, cut):
+    """Inserting/probing in one chunk or many yields the same pair count
+    — the store-level face of the per-chunk cost-equivalence argument."""
+    one = NodeHashStore(PositionMap(1 << 10))
+    one.insert(stored)
+    many = NodeHashStore(PositionMap(1 << 10))
+    k = min(cut, stored.size)
+    many.insert_chunks([stored[:k], stored[k:]])
+    assert one.stored_tuples == many.stored_tuples
+    j = min(cut, probes.size)
+    assert one.probe(probes) == many.probe(probes[:j]) + many.probe(probes[j:])
+
+
+@given(stored=small_key_arrays, probes=small_key_arrays)
+@settings(max_examples=50, deadline=None)
+def test_probe_after_interleaved_insert_stays_exact(stored, probes):
+    """finalize() caches must invalidate on every mutation."""
+    store = NodeHashStore(PositionMap(1 << 10))
+    k = stored.size // 2
+    store.insert(stored[:k])
+    first = store.probe(probes)       # forces consolidation
+    assert first == per_tuple_probe(stored[:k], probes)
+    store.insert(stored[k:])          # mutate after finalize
+    assert store.probe(probes) == per_tuple_probe(stored, probes)
+
+
+# ----------------------------------------------------------------------
+# atomic bulk ingest (regression: no partial apply on a bad chunk)
+# ----------------------------------------------------------------------
+def test_insert_chunks_rejects_atomically():
+    store = NodeHashStore(PositionMap(1 << 10))
+    good = np.array([1, 2, 3], dtype=np.uint64)
+    bad = np.array([1.5, 2.5])  # lossy floats
+    with pytest.raises(ValueError, match="lossy"):
+        store.insert_chunks([good, bad, good])
+    # nothing from the batch — including the leading good chunk — landed
+    assert store.stored_tuples == 0
+    assert store.probe(good) == 0
+    store.insert_chunks([good, good])
+    assert store.stored_tuples == 6
+
+
+def test_insert_chunks_rejects_mixed_dtype_object_chunk():
+    store = NodeHashStore(PositionMap(1 << 10))
+    with pytest.raises(TypeError, match="numeric"):
+        store.insert_chunks([
+            np.array([7], dtype=np.uint64),
+            np.array(["x"], dtype=object),
+        ])
+    assert store.stored_tuples == 0
+
+
+@given(values=hnp.arrays(dtype=np.int64, shape=st.integers(1, 50),
+                         elements=st.integers(0, 2**62)))
+@settings(max_examples=50, deadline=None)
+def test_as_key_chunk_lossless_roundtrip(values):
+    chunk = as_key_chunk(values)
+    assert chunk.dtype == KEY_DTYPE
+    assert np.array_equal(chunk.astype(np.int64), values)
+
+
+def test_as_key_chunk_rejections():
+    with pytest.raises(ValueError, match="non-negative"):
+        as_key_chunk(np.array([-1], dtype=np.int64))
+    with pytest.raises(ValueError, match="finite"):
+        as_key_chunk(np.array([np.inf]))
+    with pytest.raises(ValueError, match="range"):
+        as_key_chunk(np.array([2.0**65]))
+    with pytest.raises(TypeError, match="numeric"):
+        as_key_chunk(np.array(["a"]))
+
+
+# ----------------------------------------------------------------------
+# routing: vectorized grouping == per-tuple reference
+# ----------------------------------------------------------------------
+@given(
+    keys=hnp.arrays(dtype=np.int64, shape=st.integers(0, 300),
+                    elements=st.integers(0, 7)),
+    n_groups=st.integers(1, 8),
+)
+@settings(max_examples=150, deadline=None)
+def test_group_indices_matches_per_tuple_grouping(keys, n_groups):
+    keys = keys % n_groups
+    groups = _group_indices(keys, n_groups)
+    assert len(groups) == n_groups
+    reference = [[] for _ in range(n_groups)]
+    for i, k in enumerate(keys.tolist()):  # the per-tuple ancestor
+        reference[k].append(i)
+    for got, want in zip(groups, reference):
+        # stable: indices appear in original order within each group
+        assert got.tolist() == want
+
+
+# ----------------------------------------------------------------------
+# chunk plumbing
+# ----------------------------------------------------------------------
+@given(total=st.integers(0, 5000), chunk=st.integers(1, 700))
+@settings(max_examples=100, deadline=None)
+def test_chunk_slices_tile_exactly(total, chunk):
+    spans = list(chunk_slices(total, chunk))
+    assert sum(hi - lo for lo, hi in spans) == total
+    pos = 0
+    for lo, hi in spans:
+        assert lo == pos and lo < hi
+        assert hi - lo <= chunk
+        pos = hi
+    if spans:
+        assert all(hi - lo == chunk for lo, hi in spans[:-1])
+
+
+@given(
+    appends=st.lists(
+        st.tuples(st.integers(0, 3), small_key_arrays), max_size=20
+    ),
+    chunk=st.integers(1, 50),
+)
+@settings(max_examples=100, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_chunk_buffer_preserves_order_and_multiset(appends, chunk):
+    buf = ChunkBuffer(chunk)
+    expect: dict[int, list[int]] = {}
+    for dest, values in appends:
+        buf.append(dest, values)
+        expect.setdefault(dest, []).extend(values.tolist())
+    for dest in buf.destinations():
+        out = []
+        while (c := buf.pop_full_chunk(dest)) is not None:
+            assert c.size == chunk
+            out.extend(c.tolist())
+        rest = buf.pop_all(dest)
+        if rest is not None:
+            assert rest.size < chunk
+            out.extend(rest.tolist())
+        assert out == expect[dest]
+    assert buf.total_buffered == 0
+
+
+def test_relation_stream_limit_is_a_prefix():
+    wl = small_workload(r=2000, s=500, chunk=150)
+    stream = RelationStream(wl, "R", 2, 0)
+    full = list(stream.batches())
+    assert len(full) == stream.n_batches
+    for k in (0, 1, 3, len(full), len(full) + 5):
+        prefix = list(stream.batches(limit=k))
+        assert len(prefix) == min(k, len(full))
+        for a, b in zip(prefix, full):
+            assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# whole-system: chunked plane reproduces the per-tuple cost model
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", list(Algorithm))
+def test_simulated_series_deterministic_and_oracle_exact(algorithm):
+    """Every algorithm: oracle-exact matches and a byte-stable simulated
+    makespan across repeated runs of the chunked plane."""
+    wl = small_workload(r=3000, s=3000, sigma=0.001, seed=11)
+    cfg = small_config(algorithm, initial=2, workload=wl,
+                       cluster=small_cluster(pool=10))
+    first = run_join(cfg)   # validate=True: asserts matches == oracle
+    second = run_join(cfg)
+    assert first.is_valid and second.is_valid
+    assert first.matches == second.matches
+    assert first.total_s == second.total_s  # byte-identical, not approx
+    assert counter_total(first, "dataplane.chunks_routed") > 0
+    assert counter_total(first, "dataplane.bulk_probe_rows") >= wl.s_tuples
+
+
+@pytest.mark.chaos
+def test_chaos_run_stays_exact_on_the_chunked_plane():
+    """PR-2-style adversity (message/ack drops + one dormant-node crash)
+    perturbs timing and retries only: the chunked data plane still
+    produces the fault-free run's exact match count."""
+    plan = FaultPlan(
+        seed=1234,
+        drop_prob=0.02,
+        ack_drop_prob=0.02,
+        crashes=(CrashSpec(node=15, at_phase="build"),),
+    )
+    wl = small_workload(sigma=1e-5)
+    base = run_join(small_config(Algorithm.HYBRID, initial=2, workload=wl))
+    res = run_join(small_config(Algorithm.HYBRID, initial=2, workload=wl,
+                                faults=plan))
+    assert res.matches == base.matches == res.reference_matches
+
+
+# ----------------------------------------------------------------------
+# docs wiring (satellite: the new docs are linked from the indexes)
+# ----------------------------------------------------------------------
+def test_dataplane_docs_are_linked_from_indexes():
+    readme = (REPO / "README.md").read_text()
+    assert "docs/DATA_PLANE.md" in readme
+    assert "docs/PERFORMANCE.md" in readme
+    arch = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    assert "DATA_PLANE.md" in arch
+    assert "PERFORMANCE.md" in arch
+    # the catalogue rows repro lint checks for exist
+    obs = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+    assert "`dataplane.chunks_routed`" in obs
+    assert "`dataplane.bulk_probe_rows`" in obs

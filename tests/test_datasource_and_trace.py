@@ -2,19 +2,19 @@
 
 import numpy as np
 
-from repro.core.datasource import _Buffers
+from repro.data import ChunkBuffer
 from repro.sim import TraceRecord, Tracer
 
 
 # ----------------------------------------------------------------------
-# _Buffers
+# ChunkBuffer (the shared columnar per-destination buffer)
 # ----------------------------------------------------------------------
 def arr(*values):
     return np.array(values, dtype=np.uint64)
 
 
 def test_buffers_accumulate_and_flush_exact_chunks():
-    buf = _Buffers(chunk_tuples=3)
+    buf = ChunkBuffer(chunk_tuples=3)
     buf.append(1, arr(10, 11))
     assert buf.pop_full_chunk(1) is None  # not enough yet
     buf.append(1, arr(12, 13))
@@ -25,7 +25,7 @@ def test_buffers_accumulate_and_flush_exact_chunks():
 
 
 def test_buffers_pop_all_clears_destination():
-    buf = _Buffers(chunk_tuples=100)
+    buf = ChunkBuffer(chunk_tuples=100)
     buf.append(2, arr(1, 2, 3))
     assert buf.pop_all(2).tolist() == [1, 2, 3]
     assert buf.pop_all(2) is None
@@ -33,7 +33,7 @@ def test_buffers_pop_all_clears_destination():
 
 
 def test_buffers_destinations_sorted_and_nonempty_only():
-    buf = _Buffers(chunk_tuples=10)
+    buf = ChunkBuffer(chunk_tuples=10)
     buf.append(5, arr(1))
     buf.append(2, arr(2))
     buf.append(9, np.empty(0, dtype=np.uint64))  # ignored
@@ -41,7 +41,7 @@ def test_buffers_destinations_sorted_and_nonempty_only():
 
 
 def test_buffers_drain_everything_pools_all_destinations():
-    buf = _Buffers(chunk_tuples=10)
+    buf = ChunkBuffer(chunk_tuples=10)
     buf.append(1, arr(1, 2))
     buf.append(3, arr(3))
     pool = buf.drain_everything()
@@ -51,7 +51,7 @@ def test_buffers_drain_everything_pools_all_destinations():
 
 
 def test_buffers_preserve_order_within_destination():
-    buf = _Buffers(chunk_tuples=2)
+    buf = ChunkBuffer(chunk_tuples=2)
     buf.append(0, arr(1))
     buf.append(0, arr(2))
     buf.append(0, arr(3))

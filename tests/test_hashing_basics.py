@@ -200,7 +200,8 @@ def test_store_insert_coerces_lossless_integer_dtypes():
     assert store.probe(np.array([5], dtype=np.uint64)) == 1
     # internal storage is uniformly uint64
     store.finalize()
-    assert store._sorted.dtype == np.uint64
+    assert store._uniq.dtype == np.uint64
+    assert int(store._ucounts.sum()) == 7
 
 
 def test_store_insert_rejects_negative_values():
