@@ -8,6 +8,8 @@ for the rule catalogue, suppression syntax and extension guide.
 from __future__ import annotations
 
 from .base import (
+    FRAMEWORK_EXPLANATIONS,
+    UNUSED_ALLOW_RULE,
     Checker,
     FileChecker,
     LintError,
@@ -18,7 +20,7 @@ from .base import (
     register,
     run_lint,
 )
-from .reporting import report_json, report_text
+from .reporting import report_json, report_sarif, report_text, rule_counts
 
 __all__ = [
     "Checker",
@@ -31,5 +33,9 @@ __all__ = [
     "register",
     "run_lint",
     "report_json",
+    "report_sarif",
     "report_text",
+    "rule_counts",
+    "FRAMEWORK_EXPLANATIONS",
+    "UNUSED_ALLOW_RULE",
 ]

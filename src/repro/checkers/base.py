@@ -43,6 +43,8 @@ __all__ = [
     "all_checkers",
     "run_lint",
     "LintError",
+    "UNUSED_ALLOW_RULE",
+    "FRAMEWORK_EXPLANATIONS",
 ]
 
 #: comment syntax recognized as an inline suppression
@@ -148,6 +150,8 @@ class Checker(ABC):
     name: str = ""
     #: rule ids this pass can emit, for documentation and --select
     rules: tuple[str, ...] = ()
+    #: rule id -> long-form rationale shown by ``repro lint --explain``
+    explanations: dict[str, str] = {}
 
     @abstractmethod
     def check(self, project: Project) -> Iterator[Violation]:
@@ -207,6 +211,22 @@ def _discover(root: Path, paths: Iterable[str] | None) -> list[Path]:
     return sorted(src.rglob("*.py"))
 
 
+#: rule id emitted by the framework itself for allow-comments that
+#: suppress nothing (keeps the allowlist from rotting as code changes)
+UNUSED_ALLOW_RULE = "lint-unused-allow"
+
+#: framework-level rule rationale, merged into ``lint --explain``
+FRAMEWORK_EXPLANATIONS = {
+    UNUSED_ALLOW_RULE: (
+        "A `# repro: allow[rule]` comment suppressed nothing in this run: "
+        "either the flagged code was fixed (delete the comment), the rule "
+        "id is misspelled, or the comment sits on the wrong line.  Stale "
+        "suppressions are how real findings sneak back in — the allowlist "
+        "must shrink the moment the exception it covered goes away."
+    ),
+}
+
+
 def run_lint(
     root: Path,
     paths: Iterable[str] | None = None,
@@ -214,7 +234,13 @@ def run_lint(
 ) -> list[Violation]:
     """Run every registered checker; returns surviving violations sorted
     by (path, line, rule).  ``select`` restricts to pass names or rule-id
-    prefixes (e.g. ``determinism`` or ``det-``)."""
+    prefixes (e.g. ``determinism`` or ``det-``).
+
+    On a full (unselected) run, every ``# repro: allow[...]`` comment that
+    suppressed no finding is itself reported as ``lint-unused-allow`` —
+    a selected run skips this, since the unexercised passes would make
+    their suppressions look stale.
+    """
     # Imported here so registration happens on first use, not import of base.
     from . import passes  # noqa: F401  (registration side effect)
 
@@ -223,6 +249,7 @@ def run_lint(
     project = Project(root, files)
     wanted = {s.rstrip("-") for s in select} if select else None
     out: list[Violation] = []
+    consumed: set[tuple[str, int, str]] = set()
     for cls in all_checkers():
         if wanted is not None:
             names = {cls.name, *(r.split("-")[0] for r in cls.rules)}
@@ -233,6 +260,21 @@ def run_lint(
         for v in cls().check(project):
             source = project.get(v.path)
             if source is not None and source.suppressed(v.line, v.rule):
+                consumed.add((v.path, v.line, v.rule))
                 continue
             out.append(v)
+    if wanted is None:
+        for f in project.files:
+            for line in sorted(f.suppressions):
+                for rule in sorted(f.suppressions[line]):
+                    if (f.rel, line, rule) in consumed:
+                        continue
+                    if rule == UNUSED_ALLOW_RULE:
+                        continue
+                    out.append(f.violation(
+                        line, UNUSED_ALLOW_RULE,
+                        f"suppression `repro: allow[{rule}]` matches no "
+                        "finding on this line — remove it (or fix the "
+                        "rule id)",
+                    ))
     return sorted(out)

@@ -123,6 +123,31 @@ class DeterminismChecker(FileChecker):
     rules = ("det-wallclock", "det-global-rng", "det-set-iter", "det-fs-order")
     scope = ("src/repro/sim", "src/repro/core",
              "src/repro/cluster", "src/repro/hashing")
+    explanations = {
+        "det-wallclock": (
+            "The simulated core read the wall clock (time.time(), "
+            "datetime.now(), perf_counter).  Simulated time comes from "
+            "the event loop only; wall-clock reads make runs "
+            "irreproducible and break the bisectable-chaos guarantee."
+        ),
+        "det-global-rng": (
+            "Code used the global random module or np.random.* free "
+            "functions.  All randomness must flow from the run seed "
+            "through an explicit Generator so two runs with the same "
+            "config are bit-identical."
+        ),
+        "det-set-iter": (
+            "Iteration over a set (or frozenset) in the core.  Set order "
+            "depends on insertion history and hash randomization; wrap "
+            "the iteration in sorted() or use a list/dict to keep event "
+            "order deterministic."
+        ),
+        "det-fs-order": (
+            "Filesystem enumeration (os.listdir, glob, iterdir) without "
+            "sorted().  Directory order is platform-dependent; sort the "
+            "listing before acting on it."
+        ),
+    }
 
     def check_file(self, source: SourceFile) -> Iterator[Violation]:
         imports = ImportMap(source.tree)

@@ -52,6 +52,21 @@ class FaultSafetyChecker(FileChecker):
 
     name = "faultsafety"
     rules = ("fault-bare-except", "fault-swallowed")
+    explanations = {
+        "fault-bare-except": (
+            "A bare `except:` catches SystemExit, KeyboardInterrupt and "
+            "the simulator's process interrupts, so a killed process can "
+            "keep running as a zombie.  Name the exception types the "
+            "handler actually expects."
+        ),
+        "fault-swallowed": (
+            "A handler catches Exception/BaseException/"
+            "UnrecoverableFaultError without re-raising.  Unmaskable "
+            "faults must surface to the kernel — swallowing them turns a "
+            "crash the fault injector planted into a silent wrong "
+            "answer.  Narrow the except clause or re-raise."
+        ),
+    }
 
     def check_file(self, source: SourceFile) -> Iterator[Violation]:
         for node in ast.walk(source.tree):

@@ -67,6 +67,19 @@ class MetricSyncChecker(Checker):
 
     name = "metrics"
     rules = ("metrics-uncatalogued", "metrics-stale-catalogue")
+    explanations = {
+        "metrics-uncatalogued": (
+            "A metric is published in code but missing from the metric "
+            "catalogue table in docs/OBSERVABILITY.md.  Every instrument "
+            "must be documented — add a catalogue row (name, type, "
+            "meaning) in the '## Metric catalogue' section."
+        ),
+        "metrics-stale-catalogue": (
+            "The docs catalogue lists a metric no code publishes any "
+            "more.  Remove the row (or restore the instrument) so the "
+            "catalogue stays a trustworthy inventory."
+        ),
+    }
 
     def check(self, project: Project) -> Iterator[Violation]:
         text = project.doc(_CATALOGUE_REL)

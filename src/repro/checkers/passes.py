@@ -11,10 +11,14 @@ from .determinism import DeterminismChecker
 from .faultsafety import FaultSafetyChecker
 from .metricsync import MetricSyncChecker
 from .protocol import ProtocolChecker
+from .resourcesafety import ResourceSafetyChecker
+from .waitgraph import WaitGraphChecker
 
 __all__ = [
     "DeterminismChecker",
     "ProtocolChecker",
     "MetricSyncChecker",
     "FaultSafetyChecker",
+    "ResourceSafetyChecker",
+    "WaitGraphChecker",
 ]

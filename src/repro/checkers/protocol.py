@@ -108,6 +108,25 @@ class ProtocolChecker(Checker):
     name = "protocol"
     rules = ("proto-unhandled", "proto-unregistered-send",
              "proto-missing-export")
+    explanations = {
+        "proto-unhandled": (
+            "A message class in core/messages.py has no dispatch arm "
+            "anywhere in repro/core.  A receiver getting it would drop "
+            "it on the floor or park forever — wire a handler or delete "
+            "the message."
+        ),
+        "proto-unregistered-send": (
+            "Code sends a payload type that is not declared in "
+            "core/messages.py.  The protocol inventory (which the "
+            "wait-graph pass also consumes) must list every type that "
+            "crosses the network."
+        ),
+        "proto-missing-export": (
+            "A message class is defined in core/messages.py but missing "
+            "from its __all__ — add it so the protocol surface stays "
+            "explicit."
+        ),
+    }
 
     def check(self, project: Project) -> Iterator[Violation]:
         messages = project.get(_MESSAGES_REL)

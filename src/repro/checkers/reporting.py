@@ -1,14 +1,28 @@
-"""Violation reporters: line-per-finding text and machine-readable JSON."""
+"""Violation reporters: text, machine-readable JSON, and SARIF.
+
+The JSON document carries per-rule counts (``"rules"``) with *stable*
+rule ids, so diff-style tooling can gate on "no new findings per rule"
+against a committed baseline (see ``repro lint --baseline`` and the
+``LINT_BASE.json`` at the repo root).  The SARIF 2.1.0 document is what
+the CI lint job uploads to GitHub code scanning, turning findings into
+PR annotations at the exact line.
+"""
 
 from __future__ import annotations
 
 import json
+from collections import Counter
 from collections.abc import Sequence
-from typing import TextIO
+from typing import Any, TextIO
 
-from .base import Violation
+from .base import FRAMEWORK_EXPLANATIONS, Violation, all_checkers
 
-__all__ = ["report_text", "report_json"]
+__all__ = ["report_text", "report_json", "report_sarif", "rule_counts"]
+
+
+def rule_counts(violations: Sequence[Violation]) -> dict[str, int]:
+    """Stable rule-id -> finding-count map (sorted keys)."""
+    return dict(sorted(Counter(v.rule for v in violations).items()))
 
 
 def report_text(violations: Sequence[Violation], out: TextIO) -> None:
@@ -25,10 +39,101 @@ def report_text(violations: Sequence[Violation], out: TextIO) -> None:
 
 
 def report_json(violations: Sequence[Violation], out: TextIO) -> None:
-    """Stable JSON document: ``{"violations": [...], "count": N}``."""
+    """Stable JSON document::
+
+        {"count": N, "rules": {"rule-id": n, ...}, "violations": [...]}
+
+    ``rules`` keys are the stable rule ids every pass declares; a
+    baseline gate compares these counts, never message text (messages
+    may be reworded freely).
+    """
     doc = {
         "count": len(violations),
+        "rules": rule_counts(violations),
         "violations": [v.as_dict() for v in violations],
+    }
+    json.dump(doc, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def _rule_index() -> dict[str, str]:
+    """rule id -> short description, from every registered pass."""
+    from . import passes  # noqa: F401  (registration side effect)
+
+    index: dict[str, str] = dict(FRAMEWORK_EXPLANATIONS)
+    for cls in all_checkers():
+        for rule in cls.rules:
+            index.setdefault(
+                rule,
+                cls.explanations.get(rule, cls.__doc__ or cls.name),
+            )
+    return index
+
+
+def report_sarif(violations: Sequence[Violation], out: TextIO) -> None:
+    """SARIF 2.1.0 for GitHub code scanning (PR annotations).
+
+    One run, one ``repro-lint`` driver; every rule any pass can emit is
+    declared in ``rules`` (so suppressed-to-zero rules still appear in
+    the code-scanning UI), and each result carries a repo-relative
+    artifact location.
+    """
+    index = _rule_index()
+    for v in violations:  # rules observed but undeclared (defensive)
+        index.setdefault(v.rule, v.rule)
+    rules: list[dict[str, Any]] = [
+        {
+            "id": rule,
+            "shortDescription": {"text": rule},
+            "fullDescription": {"text": text},
+            "helpUri": (
+                "https://github.com/"  # resolved by code scanning relative
+                # to the repo; docs live in-tree:
+                "../blob/main/docs/STATIC_ANALYSIS.md"
+            ),
+        }
+        for rule, text in sorted(index.items())
+    ]
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(v.line, 1)},
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
     }
     json.dump(doc, out, indent=2, sort_keys=True)
     out.write("\n")

@@ -126,6 +126,12 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
                    metavar="T",
                    help="fail-stop the primary scheduler at sim time T "
                         "(implies --membership; the standby takes over)")
+    p.add_argument("--lockdep", action="store_true",
+                   help="arm the runtime deadlock detector (sim-time "
+                        "wait-for graph over resources, mailboxes, "
+                        "barriers and latches; pure observer, on by "
+                        "default under pytest — see "
+                        "docs/STATIC_ANALYSIS.md)")
 
 
 def _faults(args: argparse.Namespace) -> FaultPlan | None:
@@ -218,6 +224,7 @@ def _config(args: argparse.Namespace, algorithm: Algorithm,
         trace=args.trace or force_trace,
         trace_buffer=args.trace_buffer,
         faults=_faults(args),
+        lockdep=args.lockdep,
     )
 
 
@@ -463,6 +470,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
             scale=args.scale,
             trace=args.trace,
             faults=plan,
+            lockdep=args.lockdep,
         )
     except ValueError as exc:
         print(f"workload: {exc}", file=sys.stderr)
@@ -528,21 +536,39 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import textwrap
     from pathlib import Path
 
     from .checkers import (
+        FRAMEWORK_EXPLANATIONS,
         LintError,
         all_checkers,
         report_json,
+        report_sarif,
         report_text,
+        rule_counts,
         run_lint,
     )
 
+    # Force registration so listings and explanations match a real run.
+    from .checkers import passes  # noqa: F401
+
     if args.list:
-        # Force registration so the listing matches what a run would do.
-        from .checkers import passes  # noqa: F401
         for cls in all_checkers():
             print(f"{cls.name}: {', '.join(cls.rules)}")
+        return 0
+    if args.explain:
+        index: dict[str, str] = dict(FRAMEWORK_EXPLANATIONS)
+        for cls in all_checkers():
+            index.update(cls.explanations)
+        text = index.get(args.explain)
+        if text is None:
+            print(f"lint: unknown rule {args.explain!r}; known rules:\n  "
+                  + "\n  ".join(sorted(index)), file=sys.stderr)
+            return 2
+        print(f"{args.explain}:")
+        print(textwrap.fill(text, width=76, initial_indent="  ",
+                            subsequent_indent="  "))
         return 0
     root = Path(args.root) if args.root else Path.cwd()
     try:
@@ -553,8 +579,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         report_json(violations, sys.stdout)
+    elif args.format == "sarif":
+        report_sarif(violations, sys.stdout)
     else:
         report_text(violations, sys.stdout)
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                base = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"lint: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        allowed = base.get("rules", {})
+        current = rule_counts(violations)
+        regressed = {r: (allowed.get(r, 0), n) for r, n in current.items()
+                     if n > allowed.get(r, 0)}
+        if regressed:
+            for rule, (old, new) in sorted(regressed.items()):
+                print(f"baseline: {rule}: {new} finding(s) > {old} allowed "
+                      f"by {args.baseline}", file=sys.stderr)
+            return 1
+        print(f"baseline: ok — no rule above its count in {args.baseline}")
+        return 0
     return 1 if violations else 0
 
 
@@ -720,7 +767,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint",
         help="run the repo's static-analysis passes (determinism, "
-             "protocol, metrics sync, fault safety)",
+             "protocol, metrics sync, fault safety, resource safety, "
+             "wait graph)",
     )
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint (default: src/repro "
@@ -729,12 +777,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="repo root for repo-relative scoping "
                              "(default: current directory)")
     p_lint.add_argument("--format", default="text",
-                        choices=["text", "json"])
+                        choices=["text", "json", "sarif"],
+                        help="text, machine-readable json (stable rule-id "
+                             "counts), or SARIF 2.1.0 for code scanning")
     p_lint.add_argument("--select", nargs="*", metavar="RULE",
                         help="restrict to pass names or rule-id prefixes, "
                              "e.g. determinism or det-")
     p_lint.add_argument("--list", action="store_true",
                         help="list registered passes and their rule ids")
+    p_lint.add_argument("--explain", metavar="RULE",
+                        help="print the long-form rationale for one rule id "
+                             "and exit")
+    p_lint.add_argument("--baseline", metavar="PATH",
+                        help="gate against a committed --format json "
+                             "document (LINT_BASE.json): exit 1 only when "
+                             "some rule exceeds its baselined count")
     p_lint.set_defaults(func=cmd_lint)
 
     return parser

@@ -178,8 +178,11 @@ class Network:
                 # grab(), not acquire(): a sender crashed while queued for
                 # the window must withdraw its request, or the receiver's
                 # next credit release is handed to the corpse and the
-                # window shrinks by one forever.
-                yield from dst.recv_credits.grab()
+                # window shrinks by one forever.  The matching release is
+                # on the *consumer* (the join node retires the chunk), so
+                # no try/finally here can pair it — that asymmetry is the
+                # credit protocol, not a leak.
+                yield from dst.recv_credits.grab()  # repro: allow[rs-unpaired-grab]
             faults = self.faults
             if faults is None or not faults.links_active or src is dst:
                 attempt_open = True

@@ -373,6 +373,9 @@ class WorkloadConfig:
     #: workload mode forbids ack drops and phase-triggered crashes (see
     #: docs/WORKLOADS.md "Faults")
     faults: FaultPlan | None = None
+    #: attach the runtime deadlock detector to the shared simulator
+    #: (threaded into every query's RunConfig; see RunConfig.lockdep)
+    lockdep: bool = False
 
     def __post_init__(self) -> None:
         if self.n_queries < 1:
@@ -472,6 +475,11 @@ class RunConfig:
     #: seeded fault plan (crashes, message drops, link slowdowns); None
     #: runs the exact fault-free code path (see docs/FAULTS.md)
     faults: FaultPlan | None = None
+    #: attach the runtime deadlock detector (repro.sim.lockdep) to the
+    #: run's simulator.  Pure observer: it never schedules events, so the
+    #: simulated timeline is bit-identical with it on or off.  The test
+    #: suite turns it on by default (REPRO_LOCKDEP=0 opts out).
+    lockdep: bool = False
 
     def __post_init__(self) -> None:
         if self.initial_nodes < 1:

@@ -9,6 +9,7 @@ helpers so actor code reads like message-passing pseudocode.
 from __future__ import annotations
 
 import functools
+import os
 from collections.abc import Generator
 from typing import Any
 
@@ -21,7 +22,24 @@ from ..sim import Simulator, Tracer
 from .messages import DataChunk
 from .results import CommStats
 
-__all__ = ["RunContext"]
+__all__ = ["RunContext", "lockdep_enabled"]
+
+
+def lockdep_enabled(cfg: RunConfig) -> bool:
+    """Should this run attach the runtime deadlock detector?
+
+    ``REPRO_LOCKDEP`` wins when set (``0``/``false``/``no``/``off`` to
+    disable, anything else to enable); otherwise ``cfg.lockdep`` (the
+    ``--lockdep`` CLI flag); otherwise on by default under pytest, so a
+    protocol regression fails a test with a wait-for report instead of a
+    bare DeadlockError.
+    """
+    env = os.environ.get("REPRO_LOCKDEP")
+    if env is not None:
+        return env.strip().lower() not in ("", "0", "false", "no", "off")
+    if cfg.lockdep:
+        return True
+    return "PYTEST_CURRENT_TEST" in os.environ
 
 
 class RunContext:
@@ -132,6 +150,18 @@ class RunContext:
                 node.mailbox.deq_probe = functools.partial(
                     self.causal.note_dequeue, node.name
                 )
+        # Runtime deadlock detector.  Attach-once: in workload mode every
+        # query's context shares one simulator, so the first query's
+        # monitor serves them all (shared mode also has no causal log to
+        # hand it — see the class docstring).
+        if sim.lockdep is None and lockdep_enabled(cfg):
+            from ..sim.lockdep import LockdepMonitor
+
+            LockdepMonitor(
+                sim,
+                metrics=self.metrics,
+                causal=None if shared else self.causal,
+            ).install()
 
     # ------------------------------------------------------------------
     # addressing

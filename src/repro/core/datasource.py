@@ -102,7 +102,7 @@ class DataSourceProcess:
 
         # ---- idle until shutdown ---------------------------------------
         while True:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if isinstance(msg, Shutdown):
                 return
             if isinstance(msg, RouteUpdate):
@@ -231,7 +231,7 @@ class DataSourceProcess:
 
     def _await_start_probe(self) -> Generator[Any, Any, Router]:
         while True:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if isinstance(msg, StartProbe):
                 assert msg.router is not None, "sources need the probe router"
                 return msg.router

@@ -271,14 +271,9 @@ class JoinProcess:
     def run(self) -> Generator[Any, Any, None]:
         try:
             while self.state not in (self.DONE, self.CRASHED):
-                get_ev = self.node.mailbox.get()
-                try:
-                    msg = yield get_ev
-                except Interrupt:
-                    # Withdraw the pending getter so later deliveries are
-                    # not silently consumed by a dead waiter.
-                    self.node.mailbox.cancel_get(get_ev)
-                    raise
+                # recv() withdraws the pending getter on Interrupt, so
+                # later deliveries are not consumed by a dead waiter.
+                msg = yield from self.node.mailbox.recv()
                 self._msg_credit = isinstance(msg, DataChunk)
                 yield from self._dispatch(msg)
                 self._msg_credit = False
@@ -314,7 +309,7 @@ class JoinProcess:
             self.pre_activation.popleft()
             self.node.recv_credits.release()
         while True:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if isinstance(msg, DataChunk):
                 self.node.recv_credits.release()
             elif isinstance(msg, Shutdown):

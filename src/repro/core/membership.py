@@ -208,7 +208,7 @@ class BackupSchedulerProcess:
         sync: StateSync | None = None
         try:
             while True:
-                msg = yield self.node.mailbox.get()
+                msg = yield from self.node.mailbox.recv()
                 if isinstance(msg, StateSync):
                     if sync is None or msg.sync_seq > sync.sync_seq:
                         sync = msg

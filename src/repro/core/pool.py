@@ -193,7 +193,7 @@ class ResourcePoolProcess:
         self.sim.spawn(self._ticker(), name="pool-ticker")
         self._sample_levels()
         while True:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if isinstance(msg, RecruitRequest):
                 yield from self._on_request(msg)
             elif isinstance(msg, QueryDone):

@@ -266,7 +266,7 @@ class SchedulerProcess:
             ),
         )
         while True:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if isinstance(msg, RecruitGrant) and msg.query == pc.query_id:
                 cand = msg.nodes[0]
                 pc.adopt(cand)
@@ -333,7 +333,7 @@ class SchedulerProcess:
             else self.ctx.sim.now + self._recruit_timeout_s
         )
         while True:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if isinstance(msg, ActivateAck) and msg.node == cand:
                 return True
             if isinstance(msg, PollTick):
@@ -347,7 +347,7 @@ class SchedulerProcess:
         still absorbing other traffic."""
         deadline = self.ctx.sim.now + seconds
         while self.ctx.sim.now < deadline:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if not isinstance(msg, PollTick):
                 self._dispatch_common(msg)
 
@@ -380,7 +380,7 @@ class SchedulerProcess:
         through the common dispatcher (so relief cycles never starve the
         rest of the protocol)."""
         while True:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if match(msg):
                 return msg
             self._dispatch_common(msg)
@@ -659,7 +659,7 @@ class SchedulerProcess:
             pending -= self._stray_activate_acks
             if not pending:
                 return
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if isinstance(msg, ActivateAck) and msg.node in pending:
                 pending.discard(msg.node)
                 if deadline is not None:  # progress: extend the deadline
@@ -699,7 +699,7 @@ class SchedulerProcess:
                 while self.full_queue:
                     reporter = self.full_queue.popleft()
                     yield from self._relief_cycle(reporter)
-                msg = yield self.node.mailbox.get()
+                msg = yield from self.node.mailbox.recv()
                 yield from self._dispatch_phase(msg)
             except _NodeDied as e:
                 yield from self._handle_node_death(e.node)
@@ -884,7 +884,7 @@ class SchedulerProcess:
         self._drained = False
         self._prev_round = None
         while not self._drained:
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             yield from self._dispatch_phase(msg)
 
         new_entries.sort(key=lambda e: e[0].lo)
@@ -917,7 +917,7 @@ class SchedulerProcess:
                 while self.full_queue:
                     reporter = self.full_queue.popleft()
                     yield from self._probe_relief_cycle(reporter)
-                msg = yield self.node.mailbox.get()
+                msg = yield from self.node.mailbox.recv()
                 yield from self._dispatch_phase(msg)
             except _NodeDied as e:
                 yield from self._handle_node_death(e.node)
@@ -1189,7 +1189,7 @@ class SchedulerProcess:
             # credits, which blocks the replaying sources — waiting for
             # their ReplayDone first would deadlock the recovery.
             yield from self._degrade_full_target(target)
-            msg = yield self.node.mailbox.get()
+            msg = yield from self.node.mailbox.recv()
             if (isinstance(msg, ReplayDone) and msg.relation == "R"
                     and msg.recovery_id == dead and msg.source not in done):
                 done.add(msg.source)

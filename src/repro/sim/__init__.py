@@ -24,6 +24,7 @@ Public surface::
 
 from .errors import DeadlockError, Interrupt, SimulationError
 from .kernel import Event, Simulator, Timeout
+from .lockdep import LockdepError, LockdepMonitor
 from .process import AllOf, AnyOf, Process
 from .sync import Barrier, Latch, Mailbox, Resource
 from .trace import TraceRecord, Tracer
@@ -36,6 +37,8 @@ __all__ = [
     "Event",
     "Interrupt",
     "Latch",
+    "LockdepError",
+    "LockdepMonitor",
     "Mailbox",
     "Process",
     "Resource",

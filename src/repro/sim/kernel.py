@@ -176,6 +176,12 @@ class Simulator:
         #: processes that died with an exception (maintained by Process)
         self._failed_processes: list = []
         self._current_event: Event | None = None
+        #: process whose generator is executing right now (maintained by
+        #: Process._advance); sync primitives use it to attribute waits
+        self._current_process: Any | None = None
+        #: optional runtime deadlock detector (see repro.sim.lockdep);
+        #: the sync primitives report blocking transitions to it when set
+        self.lockdep: Any | None = None
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -195,6 +201,13 @@ class Simulator:
         """The event whose callbacks are running right now (None between
         steps).  Provenance stampers use it to set :attr:`Event.parent`."""
         return self._current_event
+
+    @property
+    def current_process(self) -> Any | None:
+        """The process whose generator is executing right now (None when
+        no process is on the stack, e.g. during setup code).  Lockdep uses
+        it to attribute a blocking wait to its owner."""
+        return self._current_process
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
@@ -258,10 +271,15 @@ class Simulator:
                         raise proc._exc
                 self._failed_processes.clear()
         if self._active_processes > 0:
-            raise DeadlockError(
+            msg = (
                 f"event queue empty but {self._active_processes} "
                 "process(es) still waiting"
             )
+            if self.lockdep is not None:
+                report = self.lockdep.render_stall_report()
+                if report:
+                    msg = f"{msg}\n{report}"
+            raise DeadlockError(msg)
 
     # Convenience used by Process
     def spawn(self, generator: Iterable, name: str = "") -> Any:

@@ -93,43 +93,51 @@ class Process(Event):
 
     def _advance(self, send: Any = None, throw: BaseException | None = None) -> None:
         gen = self._generator
-        while True:
-            try:
-                if throw is not None:
-                    target = gen.throw(throw)
-                    throw = None
-                else:
-                    target = gen.send(send)
-            except StopIteration as stop:
-                self.sim._active_processes -= 1
-                self.succeed(stop.value)
-                return
-            # The trampoline does not swallow: the exception is re-routed
-            # into the event graph via fail() and re-raised at await sites.
-            except BaseException as exc:  # repro: allow[fault-swallowed]
-                self.sim._active_processes -= 1
-                self.fail(_annotate(exc, self.name))
-                self.sim._failed_processes.append(self)
-                return
+        # Mark this process as the one executing, so sync primitives can
+        # attribute blocking waits (lockdep).  Saved/restored because a
+        # process body can synchronously trigger events that resume others.
+        prev = self.sim._current_process
+        self.sim._current_process = self
+        try:
+            while True:
+                try:
+                    if throw is not None:
+                        target = gen.throw(throw)
+                        throw = None
+                    else:
+                        target = gen.send(send)
+                except StopIteration as stop:
+                    self.sim._active_processes -= 1
+                    self.succeed(stop.value)
+                    return
+                # The trampoline does not swallow: the exception is re-routed
+                # into the event graph via fail() and re-raised at await sites.
+                except BaseException as exc:  # repro: allow[fault-swallowed]
+                    self.sim._active_processes -= 1
+                    self.fail(_annotate(exc, self.name))
+                    self.sim._failed_processes.append(self)
+                    return
 
-            if not isinstance(target, Event):
-                throw = SimulationError(
-                    f"process {self.name!r} yielded non-event {target!r}"
-                )
-                send = None
-                continue
-            if target._processed:
-                # Already done: resume immediately (same tick) without
-                # bouncing through the queue.
-                if target._exc is not None:
-                    throw = target._exc
+                if not isinstance(target, Event):
+                    throw = SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
                     send = None
-                else:
-                    send = target._value
-                continue
-            self._waiting_on = target
-            target.add_callback(self._resume)
-            return
+                    continue
+                if target._processed:
+                    # Already done: resume immediately (same tick) without
+                    # bouncing through the queue.
+                    if target._exc is not None:
+                        throw = target._exc
+                        send = None
+                    else:
+                        send = target._value
+                    continue
+                self._waiting_on = target
+                target.add_callback(self._resume)
+                return
+        finally:
+            self.sim._current_process = prev
 
 
 def _annotate(exc: BaseException, name: str) -> BaseException:

@@ -12,7 +12,6 @@ These cover everything the cluster substrate needs:
 
 from __future__ import annotations
 
-import contextlib
 from collections import deque
 from collections.abc import Generator
 from typing import Any
@@ -83,12 +82,37 @@ class Mailbox:
             self._sample_depth()
         else:
             self._getters.append(ev)
+            ld = self.sim.lockdep
+            if ld is not None:
+                ld.blocked(self, ev)
         return ev
 
     def cancel_get(self, ev: Event) -> None:
         """Withdraw a pending getter (no-op if it already fired)."""
-        with contextlib.suppress(ValueError):
+        try:
             self._getters.remove(ev)
+        except ValueError:
+            return
+        ld = self.sim.lockdep
+        if ld is not None:
+            ld.unblocked(ev)
+
+    def recv(self) -> Generator[Event, Any, Any]:
+        """Blocking receive, interrupt-safe: ``msg = yield from box.recv()``.
+
+        Wraps :meth:`get` so an exception thrown into the waiting process
+        (crash injection, shutdown) withdraws the pending getter before
+        propagating — the manual ``cancel_get`` dance :meth:`get` demands.
+        Use this instead of ``yield box.get()`` in any process a
+        :class:`~repro.faults.FaultPlan` can kill (the ``rs-mailbox-get``
+        lint rule enforces it)."""
+        ev = self.get()
+        try:
+            item = yield ev
+        except BaseException:
+            self.cancel_get(ev)
+            raise
+        return item
 
     def drain(self) -> list[Any]:
         """Remove and return all currently queued messages (non-blocking)."""
@@ -131,21 +155,38 @@ class Resource:
 
     def acquire(self) -> Event:
         ev = Event(self.sim)
+        ld = self.sim.lockdep
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(None)
+            if ld is not None:
+                ld.acquired(self)
         else:
             self._waiters.append(ev)
+            if ld is not None:
+                try:
+                    ld.blocked(self, ev)
+                except BaseException:
+                    # A wait-for cycle just closed: withdraw the doomed
+                    # request so the report's state stays consistent.
+                    self.cancel(ev)
+                    raise
         return ev
 
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        ld = self.sim.lockdep
         if self._waiters:
             # Hand the slot straight to the next waiter; _in_use unchanged.
-            self._waiters.popleft().succeed(None)
+            waiter = self._waiters.popleft()
+            if ld is not None:
+                ld.handed_off(self, waiter)
+            waiter.succeed(None)
         else:
             self._in_use -= 1
+            if ld is not None:
+                ld.released(self)
 
     def cancel(self, ev: Event) -> None:
         """Withdraw an acquire that will never be consumed.
@@ -156,11 +197,15 @@ class Resource:
         otherwise a later release() would hand the slot to the dead waiter
         and leak it forever.
         """
-        with contextlib.suppress(ValueError):
+        try:
             self._waiters.remove(ev)
+        except ValueError:
+            if ev.triggered:
+                self.release()
             return
-        if ev.triggered:
-            self.release()
+        ld = self.sim.lockdep
+        if ld is not None:
+            ld.unblocked(ev)
 
     def grab(self) -> Generator[Event, Any, None]:
         """Acquire one slot, interrupt-safely, without a fixed duration.
@@ -220,6 +265,10 @@ class Barrier:
             arrived, self._arrived = self._arrived, []
             for waiter in arrived:
                 waiter.succeed(None)
+        else:
+            ld = self.sim.lockdep
+            if ld is not None:
+                ld.blocked(self, ev)
         return ev
 
 
@@ -250,4 +299,8 @@ class Latch:
             self._event.succeed(None)
 
     def wait(self) -> Event:
+        if not self._event.triggered:
+            ld = self.sim.lockdep
+            if ld is not None:
+                ld.blocked(self, self._event)
         return self._event

@@ -100,12 +100,12 @@ def _query_runner(
 
     # Admission: park at the pool until the initial nodes are free.  The
     # grant is the only message that can reach this scheduler node before
-    # the pipeline exists, so a bare mailbox get is safe.
+    # the pipeline exists.
     yield from ctx.send(
         view.scheduler_node, pool.node,
         RecruitRequest(query=qid, want=rcfg.initial_nodes, admission=True),
     )
-    msg = yield view.scheduler_node.mailbox.get()
+    msg = yield from view.scheduler_node.mailbox.recv()
     if not (isinstance(msg, RecruitGrant) and msg.query == qid):
         raise RuntimeError(
             f"query {qid}: expected its admission RecruitGrant, got {msg!r}"

@@ -111,4 +111,5 @@ def query_run_config(cfg: WorkloadConfig, spec: QuerySpec) -> RunConfig:
         drain_poll_interval=cfg.drain_poll_interval,
         trace=cfg.trace,
         faults=cfg.faults,
+        lockdep=cfg.lockdep,
     )

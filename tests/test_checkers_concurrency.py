@@ -1,0 +1,470 @@
+"""Tests for the concurrency analysis passes and reporting surfaces.
+
+Covers the resource-safety pass (rs-*), the wait-graph pass (wg-*), the
+framework's stale-suppression rule (lint-unused-allow) and the new CLI
+surfaces: ``--format sarif``, ``--explain`` and ``--baseline``.  Same
+fixture style as test_checkers.py: snippets written into a synthetic
+``src/repro/...`` mini-tree, because checker scoping is repo-relative.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkers import Violation, run_lint
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_repo(tmp_path: Path, files: dict[str, str]) -> Path:
+    for rel, text in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text, encoding="utf-8")
+    (tmp_path / "src" / "repro").mkdir(parents=True, exist_ok=True)
+    return tmp_path
+
+
+def rules_of(violations: list[Violation]) -> set[str]:
+    return {v.rule for v in violations}
+
+
+# ----------------------------------------------------------------------
+# rs-bare-acquire
+# ----------------------------------------------------------------------
+def test_bare_acquire_flagged(tmp_path):
+    snippet = "def f(res):\n    ev = res.acquire()\n    yield ev\n"
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    found = [v for v in run_lint(root) if v.rule == "rs-bare-acquire"]
+    assert len(found) == 1 and found[0].line == 2
+
+
+def test_grab_with_finally_release_clean(tmp_path):
+    snippet = ("def f(res):\n"
+               "    yield from res.grab()\n"
+               "    try:\n"
+               "        pass\n"
+               "    finally:\n"
+               "        res.release()\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+def test_bare_acquire_suppressable(tmp_path):
+    snippet = ("def f(res):\n"
+               "    ev = res.acquire()  # repro: allow[rs-bare-acquire]\n"
+               "    yield ev\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# rs-unpaired-grab
+# ----------------------------------------------------------------------
+def test_grab_without_finally_flagged(tmp_path):
+    # release on the straight-line path only: leaks on any raise
+    snippet = ("def f(res):\n"
+               "    yield from res.grab()\n"
+               "    yield from work()\n"
+               "    res.release()\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert "rs-unpaired-grab" in rules_of(run_lint(root))
+
+
+def test_unpaired_grab_matches_dotted_receiver(tmp_path):
+    snippet = ("def f(self):\n"
+               "    yield from self.node.sem.grab()\n"
+               "    try:\n"
+               "        pass\n"
+               "    finally:\n"
+               "        self.node.sem.release()\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+def test_cross_actor_grab_suppressable(tmp_path):
+    snippet = ("def f(dst):\n"
+               "    yield from dst.credits.grab()"
+               "  # repro: allow[rs-unpaired-grab]\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# rs-mailbox-get
+# ----------------------------------------------------------------------
+def test_yield_mailbox_get_flagged(tmp_path):
+    snippet = ("def f(self):\n"
+               "    msg = yield self.node.mailbox.get()\n"
+               "    return msg\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert "rs-mailbox-get" in rules_of(run_lint(root))
+
+
+def test_bound_get_without_cancel_flagged(tmp_path):
+    snippet = ("from repro.sim import Mailbox\n\n"
+               "def f(sim):\n"
+               "    box = Mailbox(sim)\n"
+               "    ev = box.get()\n"
+               "    yield ev\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert "rs-mailbox-get" in rules_of(run_lint(root))
+
+
+def test_recv_and_cancel_get_patterns_clean(tmp_path):
+    snippet = ("def ok_recv(self):\n"
+               "    msg = yield from self.node.mailbox.recv()\n"
+               "    return msg\n\n"
+               "def ok_manual(self):\n"
+               "    ev = self.node.mailbox.get()\n"
+               "    try:\n"
+               "        msg = yield ev\n"
+               "    except Exception:\n"
+               "        self.node.mailbox.cancel_get(ev)\n"
+               "        raise\n"
+               "    return msg\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+def test_dict_get_not_confused_with_mailbox(tmp_path):
+    snippet = "def f(cfg):\n    v = cfg.get('key')\n    yield v\n"
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# rs-killable-wait
+# ----------------------------------------------------------------------
+def test_barrier_wait_in_core_flagged(tmp_path):
+    snippet = ("from repro.sim import Barrier\n\n"
+               "def f(sim):\n"
+               "    bar = Barrier(sim, 3)\n"
+               "    yield bar.wait()\n")
+    root = make_repo(tmp_path, {"src/repro/core/mod.py": snippet})
+    assert "rs-killable-wait" in rules_of(run_lint(root))
+
+
+def test_latch_wait_via_self_attribute_flagged(tmp_path):
+    snippet = ("from repro.sim import Latch\n\n"
+               "class C:\n"
+               "    def __init__(self, sim):\n"
+               "        self.gate = Latch(sim, 2)\n"
+               "    def f(self):\n"
+               "        yield self.gate.wait()\n")
+    root = make_repo(tmp_path, {"src/repro/cluster/mod.py": snippet})
+    assert "rs-killable-wait" in rules_of(run_lint(root))
+
+
+def test_barrier_wait_outside_killable_scope_clean(tmp_path):
+    # repro.workload processes are not FaultPlan-killable
+    snippet = ("from repro.sim import Barrier\n\n"
+               "def f(sim):\n"
+               "    bar = Barrier(sim, 3)\n"
+               "    yield bar.wait()\n")
+    root = make_repo(tmp_path, {"src/repro/workload/mod.py": snippet})
+    assert "rs-killable-wait" not in rules_of(run_lint(root))
+
+
+# ----------------------------------------------------------------------
+# wait-graph fixtures
+# ----------------------------------------------------------------------
+_WG_MESSAGES = '''\
+from dataclasses import dataclass
+
+__all__ = ["Ping", "Pong"]
+
+
+@dataclass
+class Ping:
+    node: int
+
+
+@dataclass
+class Pong:
+    node: int
+'''
+
+# Alpha exclusively waits for Ping (sent only by Beta); Beta exclusively
+# waits for Pong (sent only by Alpha); neither sends from inside its wait
+# loop -> a genuine ring.
+_WG_CYCLE = '''\
+from .messages import Ping, Pong
+
+
+class Alpha:
+    def run(self, node):
+        while True:
+            msg = yield from node.mailbox.recv()
+            if isinstance(msg, Ping):
+                break
+
+    def emit(self, peer):
+        peer.mailbox.put(Pong(0))
+
+
+class Beta:
+    def run(self, node):
+        while True:
+            msg = yield from node.mailbox.recv()
+            if isinstance(msg, Pong):
+                break
+
+    def emit(self, peer):
+        peer.mailbox.put(Ping(0))
+'''
+
+# Same ring shape, but each class answers from *inside* its wait loop
+# (the datasource-services-ReplayOrder pattern) -> discharged, no report.
+_WG_DISCHARGED = '''\
+from .messages import Ping, Pong
+
+
+class Gamma:
+    def run(self, node, peer):
+        while True:
+            msg = yield from node.mailbox.recv()
+            if isinstance(msg, Ping):
+                self.reply(peer)
+
+    def reply(self, peer):
+        peer.mailbox.put(Pong(0))
+
+
+class Delta:
+    def run(self, node, peer):
+        while True:
+            msg = yield from node.mailbox.recv()
+            if isinstance(msg, Pong):
+                self.reply(peer)
+
+    def reply(self, peer):
+        peer.mailbox.put(Ping(0))
+'''
+
+# The waiting side routes unmatched traffic through a dispatcher (the
+# scheduler's shape) -> non-exclusive wait, no blocking edge, no ring.
+_WG_DISPATCHER = '''\
+from .messages import Ping, Pong
+
+
+class Server:
+    def run(self, node):
+        while True:
+            msg = yield from node.mailbox.recv()
+            if isinstance(msg, Ping):
+                break
+            self._dispatch_common(msg)
+
+    def _dispatch_common(self, msg):
+        pass
+
+    def emit(self, peer):
+        peer.mailbox.put(Pong(0))
+
+
+class Client:
+    def run(self, node):
+        while True:
+            msg = yield from node.mailbox.recv()
+            if isinstance(msg, Pong):
+                break
+
+    def emit(self, peer):
+        peer.mailbox.put(Ping(0))
+'''
+
+_WG_GHOST = '''\
+from .messages import Ping
+
+
+class Ghost:
+    def run(self, node):
+        while True:
+            msg = yield from node.mailbox.recv()
+            if isinstance(msg, Ping):
+                break
+'''
+
+
+def test_wg_cycle_detected(tmp_path):
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _WG_MESSAGES,
+        "src/repro/core/actors.py": _WG_CYCLE,
+    })
+    found = [v for v in run_lint(root, select=["wg-"])
+             if v.rule == "wg-cycle"]
+    assert len(found) == 1
+    msg = found[0].message
+    assert "Alpha" in msg and "Beta" in msg
+    assert "Ping" in msg and "Pong" in msg
+
+
+def test_wg_cycle_discharged_by_sends_while_waiting(tmp_path):
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _WG_MESSAGES,
+        "src/repro/core/actors.py": _WG_DISCHARGED,
+    })
+    assert run_lint(root, select=["wg-"]) == []
+
+
+def test_wg_dispatcher_wait_is_non_exclusive(tmp_path):
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _WG_MESSAGES,
+        "src/repro/core/actors.py": _WG_DISPATCHER,
+    })
+    assert run_lint(root, select=["wg-"]) == []
+
+
+def test_wg_cycle_suppressable_on_wait_method(tmp_path):
+    suppressed = _WG_CYCLE.replace(
+        "class Alpha:\n    def run(self, node):",
+        "class Alpha:\n    def run(self, node):"
+        "  # repro: allow[wg-cycle]",
+    )
+    assert "allow[wg-cycle]" in suppressed
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _WG_MESSAGES,
+        "src/repro/core/actors.py": suppressed,
+    })
+    assert run_lint(root, select=["wg-"]) == []
+
+
+def test_wg_no_sender(tmp_path):
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _WG_MESSAGES,
+        "src/repro/core/actors.py": _WG_GHOST,
+    })
+    found = [v for v in run_lint(root, select=["wg-"])
+             if v.rule == "wg-no-sender"]
+    assert len(found) == 1
+    assert "Ghost.run" in found[0].message and "Ping" in found[0].message
+
+
+def test_wg_no_sender_satisfied_from_sibling_dir(tmp_path):
+    # a constructor anywhere in core/cluster/workload counts as a sender
+    root = make_repo(tmp_path, {
+        "src/repro/core/messages.py": _WG_MESSAGES,
+        "src/repro/core/actors.py": _WG_GHOST,
+        "src/repro/workload/driver.py":
+            "from ..core.messages import Ping\n\n"
+            "def kick(box):\n    box.put(Ping(0))\n",
+    })
+    assert run_lint(root, select=["wg-"]) == []
+
+
+# ----------------------------------------------------------------------
+# lint-unused-allow
+# ----------------------------------------------------------------------
+def test_unused_allow_reported(tmp_path):
+    snippet = "def f():\n    return 1  # repro: allow[det-wallclock]\n"
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    found = run_lint(root)
+    assert [v.rule for v in found] == ["lint-unused-allow"]
+    assert "det-wallclock" in found[0].message and found[0].line == 2
+
+
+def test_consumed_allow_not_reported(tmp_path):
+    snippet = ("import time\n\ndef f():\n"
+               "    return time.time()  # repro: allow[det-wallclock]\n")
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    assert run_lint(root) == []
+
+
+def test_unused_allow_skipped_under_select(tmp_path):
+    # a selected run exercises only some passes; the unexercised ones
+    # would make every suppression look stale, so the rule stays off
+    snippet = "def f():\n    return 1  # repro: allow[det-wallclock]\n"
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": snippet})
+    assert run_lint(root, select=["det-"]) == []
+
+
+# ----------------------------------------------------------------------
+# reporting: JSON rule counts, SARIF, --explain, --baseline
+# ----------------------------------------------------------------------
+_WALLCLOCK = "import time\n\ndef f():\n    return time.time()\n"
+
+
+def test_json_report_carries_rule_counts(tmp_path, capsys):
+    make_repo(tmp_path, {
+        "src/repro/sim/a.py": _WALLCLOCK,
+        "src/repro/sim/b.py": _WALLCLOCK,
+    })
+    rc = main(["lint", "--root", str(tmp_path), "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["rules"] == {"det-wallclock": 2}
+
+
+def test_sarif_output_shape(tmp_path, capsys):
+    make_repo(tmp_path, {"src/repro/sim/mod.py": _WALLCLOCK})
+    rc = main(["lint", "--root", str(tmp_path), "--format", "sarif"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1 and doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    # every declared rule is present, with the long-form rationale
+    ids = {r["id"] for r in driver["rules"]}
+    assert {"det-wallclock", "rs-bare-acquire", "wg-cycle",
+            "lint-unused-allow"} <= ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "det-wallclock"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/sim/mod.py"
+    assert loc["region"]["startLine"] == 4
+
+
+def test_cli_explain_known_rule(capsys):
+    rc = main(["lint", "--explain", "rs-mailbox-get"])
+    out = capsys.readouterr().out
+    assert rc == 0 and "recv()" in out
+
+
+def test_cli_explain_unknown_rule(capsys):
+    rc = main(["lint", "--explain", "no-such-rule"])
+    err = capsys.readouterr().err
+    assert rc == 2 and "unknown rule" in err and "wg-cycle" in err
+
+
+def test_cli_list_includes_new_passes(capsys):
+    rc = main(["lint", "--list"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "resourcesafety" in out and "waitgraph" in out
+
+
+def test_baseline_gate_passes_at_and_fails_above(tmp_path, capsys):
+    root = make_repo(tmp_path, {"src/repro/sim/mod.py": _WALLCLOCK})
+    rc = main(["lint", "--root", str(root), "--format", "json"])
+    assert rc == 1
+    base = tmp_path / "base.json"
+    base.write_text(capsys.readouterr().out)
+    # at the baselined count: exit 0 despite the finding
+    assert main(["lint", "--root", str(root),
+                 "--baseline", str(base)]) == 0
+    capsys.readouterr()
+    # one more finding of the same rule: regression, exit 1
+    (root / "src/repro/sim/mod2.py").write_text(_WALLCLOCK)
+    rc = main(["lint", "--root", str(root), "--baseline", str(base)])
+    err = capsys.readouterr().err
+    assert rc == 1 and "det-wallclock" in err and "2" in err
+
+
+def test_baseline_unreadable_exits_two(tmp_path, capsys):
+    root = make_repo(tmp_path, {})
+    rc = main(["lint", "--root", str(root),
+               "--baseline", str(tmp_path / "missing.json")])
+    assert rc == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_committed_baseline_is_current():
+    """LINT_BASE.json at the repo root must match a clean run."""
+    rc = main(["lint", "--root", str(REPO_ROOT),
+               "--baseline", str(REPO_ROOT / "LINT_BASE.json")])
+    assert rc == 0

@@ -1,0 +1,279 @@
+"""Runtime deadlock detector (repro.sim.lockdep) tests.
+
+The monitor is a pure observer: with it attached, every clean run must
+finish bit-identically, and every wait-for cycle must be reported the
+moment the closing edge is added — naming each waiter, what it waits on
+and what it holds — instead of surfacing as a bare DeadlockError after
+the queue drains.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import Algorithm, FaultPlan, RunConfig
+from repro.core import run_join
+from repro.core.context import lockdep_enabled
+from repro.sim import (
+    Barrier,
+    LockdepError,
+    LockdepMonitor,
+    Mailbox,
+    Resource,
+    Simulator,
+)
+from repro.sim.errors import DeadlockError, Interrupt
+from tests.conftest import small_config
+
+
+def monitored_sim():
+    sim = Simulator()
+    LockdepMonitor(sim).install()
+    return sim
+
+
+# ----------------------------------------------------------------------
+# cycle detection
+# ----------------------------------------------------------------------
+def test_abba_cycle_detected_naming_both_waiters():
+    """The seeded two-resource cycle: detected the moment the second
+    process blocks (well under one simulated second), with both waiters
+    and both resources in the report."""
+    sim = monitored_sim()
+    a = Resource(sim, 1, name="A")
+    b = Resource(sim, 1, name="B")
+
+    def p1(sim):
+        yield from a.grab()
+        yield sim.timeout(0.01)
+        yield from b.grab()
+
+    def p2(sim):
+        yield from b.grab()
+        yield sim.timeout(0.01)
+        yield from a.grab()
+
+    sim.spawn(p1(sim), name="p1")
+    sim.spawn(p2(sim), name="p2")
+    with pytest.raises(LockdepError) as exc:
+        sim.run()
+    msg = str(exc.value)
+    assert "wait-for cycle" in msg
+    assert "'p1'" in msg and "'p2'" in msg
+    assert "Resource('A')" in msg and "Resource('B')" in msg
+    assert sim.now < 1.0
+    assert sim.lockdep.cycles_detected == 1
+
+
+def test_three_party_cycle_detected():
+    sim = monitored_sim()
+    res = {n: Resource(sim, 1, name=n) for n in "ABC"}
+
+    def worker(sim, mine, then):
+        yield from res[mine].grab()
+        yield sim.timeout(0.01)
+        yield from res[then].grab()
+
+    for mine, then in [("A", "B"), ("B", "C"), ("C", "A")]:
+        sim.spawn(worker(sim, mine, then), name=f"w{mine}")
+    with pytest.raises(LockdepError) as exc:
+        sim.run()
+    assert "cycle of 3 process(es)" in str(exc.value)
+
+
+def test_clean_contended_run_is_silent():
+    sim = monitored_sim()
+    res = Resource(sim, 1, name="R")
+    order = []
+
+    def worker(sim, i):
+        yield from res.use(0.1)
+        order.append(i)
+
+    for i in range(4):
+        sim.spawn(worker(sim, i), name=f"w{i}")
+    sim.run()
+    assert order == [0, 1, 2, 3]
+    assert sim.lockdep.cycles_detected == 0
+    assert sim.lockdep.waits_tracked == 3  # w0 acquired without waiting
+    assert sim.lockdep._waits == {} and sim.lockdep._holders == {}
+
+
+def test_multislot_self_wait_is_not_a_cycle():
+    """The credit-protocol shape: a producer holding receive-window slots
+    waits for one more while another actor releases.  On a multi-slot
+    resource "a holder is blocked" does not imply deadlock, so the cycle
+    DFS must not follow holder edges through it."""
+    sim = monitored_sim()
+    credits = Resource(sim, 2, name="credits")
+    done = []
+
+    def producer(sim):
+        yield from credits.grab()
+        yield from credits.grab()
+        yield from credits.grab()  # blocks holding both slots
+        done.append(sim.now)
+
+    def consumer(sim):
+        yield sim.timeout(0.05)
+        credits.release()  # cross-actor release, as the join node does
+
+    sim.spawn(producer(sim), name="producer")
+    sim.spawn(consumer(sim), name="consumer")
+    sim.run()
+    assert done == [0.05]
+    assert sim.lockdep.cycles_detected == 0
+
+
+# ----------------------------------------------------------------------
+# stall reports
+# ----------------------------------------------------------------------
+def test_stall_report_names_mailbox_waiter():
+    sim = monitored_sim()
+    box = Mailbox(sim, name="inbox")
+
+    def lonely(sim):
+        msg = yield from box.recv()
+        return msg
+
+    sim.spawn(lonely(sim), name="lonely")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    msg = str(exc.value)
+    assert "lockdep:" in msg
+    assert "'lonely'" in msg and "Mailbox('inbox')" in msg
+
+
+def test_stall_report_includes_held_resources():
+    sim = monitored_sim()
+    lock = Resource(sim, 1, name="lock")
+    bar = Barrier(sim, 2, name="phase")
+
+    def stuck(sim):
+        yield from lock.grab()
+        yield bar.wait()  # party #2 never arrives
+
+    sim.spawn(stuck(sim), name="stuck")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    msg = str(exc.value)
+    assert "Barrier('phase')" in msg
+    assert "holds [Resource('lock')]" in msg
+
+
+def test_without_monitor_plain_deadlock_error():
+    sim = Simulator()
+    box = Mailbox(sim)
+
+    def lonely(sim):
+        yield box.get()
+
+    sim.spawn(lonely(sim), name="lonely")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    assert "lockdep" not in str(exc.value)
+
+
+# ----------------------------------------------------------------------
+# wait withdrawal (interrupt/cancel paths)
+# ----------------------------------------------------------------------
+def test_interrupt_withdraws_wait_records():
+    sim = monitored_sim()
+    res = Resource(sim, 1, name="R")
+
+    def holder(sim):
+        yield from res.use(1.0)
+
+    def waiter(sim):
+        try:
+            yield from res.grab()
+        except Interrupt:
+            return "bailed"
+        return "acquired"
+
+    sim.spawn(holder(sim), name="holder")
+    w = sim.spawn(waiter(sim), name="waiter")
+
+    def killer(sim):
+        yield sim.timeout(0.1)
+        w.interrupt()
+
+    sim.spawn(killer(sim), name="killer")
+    sim.run()
+    assert w.value == "bailed"
+    assert sim.lockdep._waits == {} and sim.lockdep._holders == {}
+
+
+def test_mailbox_recv_interrupt_withdraws_getter():
+    sim = monitored_sim()
+    box = Mailbox(sim, name="inbox")
+    got = []
+
+    def impatient(sim):
+        try:
+            yield from box.recv()
+        except Interrupt:
+            pass
+
+    def patient(sim):
+        got.append((yield from box.recv()))
+
+    p1 = sim.spawn(impatient(sim), name="impatient")
+    sim.spawn(patient(sim), name="patient")
+
+    def driver(sim):
+        yield sim.timeout(0.1)
+        p1.interrupt()
+        yield sim.timeout(0.1)
+        box.put("msg")  # must reach 'patient', not the withdrawn getter
+
+    sim.spawn(driver(sim), name="driver")
+    sim.run()
+    assert got == ["msg"]
+    assert sim.lockdep._waits == {}
+
+
+# ----------------------------------------------------------------------
+# enablement plumbing
+# ----------------------------------------------------------------------
+def test_lockdep_enabled_precedence(monkeypatch):
+    cfg = RunConfig()
+    # under pytest (PYTEST_CURRENT_TEST set) the default is on ...
+    monkeypatch.delenv("REPRO_LOCKDEP", raising=False)
+    assert lockdep_enabled(cfg)
+    # ... REPRO_LOCKDEP always wins, both ways ...
+    monkeypatch.setenv("REPRO_LOCKDEP", "0")
+    assert not lockdep_enabled(cfg)
+    monkeypatch.setenv("REPRO_LOCKDEP", "1")
+    assert lockdep_enabled(cfg)
+    # ... outside pytest, the config flag decides.
+    monkeypatch.delenv("REPRO_LOCKDEP")
+    monkeypatch.delenv("PYTEST_CURRENT_TEST")
+    assert not lockdep_enabled(cfg)
+    assert lockdep_enabled(replace(cfg, lockdep=True))
+
+
+def test_run_attaches_monitor_and_publishes_metrics():
+    res = run_join(small_config(Algorithm.SPLIT, lockdep=True))
+    assert res.is_valid
+    names = {m["name"] for m in res.metrics}
+    assert "lockdep.waits_tracked" in names
+    cycles = next(m for m in res.metrics
+                  if m["name"] == "lockdep.cycles_detected")
+    assert cycles["value"] == 0
+
+
+# ----------------------------------------------------------------------
+# chaos matrix: lockdep must stay silent on every algorithm under faults
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+@pytest.mark.lockdep
+@pytest.mark.parametrize("algorithm", list(Algorithm))
+def test_lockdep_silent_on_chaos_matrix(algorithm):
+    plan = FaultPlan(seed=5, drop_prob=0.05, ack_drop_prob=0.02)
+    res = run_join(small_config(algorithm, initial=2,
+                                faults=plan, lockdep=True))
+    assert res.is_valid  # oracle-exact with the detector armed
+    cycles = next(m for m in res.metrics
+                  if m["name"] == "lockdep.cycles_detected")
+    assert cycles["value"] == 0
