@@ -2,7 +2,16 @@
 examples/ and the EXPERIMENTS.md generator, plus the ``bench-diff``
 baseline regression gate (:mod:`repro.bench.diff`)."""
 
-from .diff import BaselineError, BenchDiff, Delta, diff_baselines, load_baseline
+from .diff import (
+    BaselineError,
+    BenchDiff,
+    Delta,
+    diff_baselines,
+    diff_snapshots,
+    is_snapshot_doc,
+    load_baseline,
+    load_document,
+)
 from .figures import ALGORITHMS, EHJAS, FigureHarness
 
 __all__ = [
@@ -13,5 +22,8 @@ __all__ = [
     "EHJAS",
     "FigureHarness",
     "diff_baselines",
+    "diff_snapshots",
+    "is_snapshot_doc",
     "load_baseline",
+    "load_document",
 ]

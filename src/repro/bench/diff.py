@@ -22,28 +22,61 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..obs.streaming import Snapshot
+
 __all__ = ["BaselineError", "Delta", "BenchDiff", "load_baseline",
-           "diff_baselines"]
+           "load_document", "diff_baselines", "diff_snapshots",
+           "is_snapshot_doc"]
 
 #: metrics carried per (algorithm, node-count) series point
 METRICS = ("total_s", "build_s")
+
+#: sketch quantiles compared per snapshot sketch
+SKETCH_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
 
 
 class BaselineError(ValueError):
     """A baseline file is missing, unparsable, or schema-invalid."""
 
 
-def load_baseline(path: str | Path) -> dict[str, Any]:
-    """Load and schema-check one baseline JSON file."""
+def load_document(path: str | Path) -> dict[str, Any]:
+    """Load one comparison document: baseline JSON or a snapshot stream.
+
+    A ``--snapshot-out`` file is JSONL (one snapshot per line, final
+    snapshot last); for those the last non-empty line is the document —
+    the run's end state is what regression gates care about.
+    """
     p = Path(path)
     try:
-        doc = json.loads(p.read_text())
+        text = p.read_text()
     except OSError as exc:
         raise BaselineError(f"{p}: cannot read baseline: {exc}") from exc
-    except json.JSONDecodeError as exc:
-        raise BaselineError(f"{p}: not valid JSON: {exc}") from exc
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        if len(lines) < 2:
+            raise BaselineError(f"{p}: not valid JSON") from None
+        try:
+            doc = json.loads(lines[-1])
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"{p}: neither JSON nor JSONL (last line: {exc})"
+            ) from exc
     if not isinstance(doc, dict):
         raise BaselineError(f"{p}: baseline must be a JSON object")
+    return doc
+
+
+def is_snapshot_doc(doc: dict[str, Any]) -> bool:
+    """Is this a ``repro-snapshot`` document (vs a figure baseline)?"""
+    return doc.get("kind") == "repro-snapshot"
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    """Load and schema-check one figure-baseline JSON file."""
+    p = Path(path)
+    doc = load_document(p)
     for key in ("benchmark", "scale", "series"):
         if key not in doc:
             raise BaselineError(f"{p}: baseline is missing {key!r}")
@@ -187,4 +220,52 @@ def diff_baselines(
                     old=float(old_pts[nodes][metric]),
                     new=float(new_pts[nodes][metric]),
                 ))
+    return diff
+
+
+def diff_snapshots(
+    old: Snapshot, new: Snapshot, threshold_pct: float = 1.0
+) -> BenchDiff:
+    """Compare two observability snapshots (``repro.obs.Snapshot``).
+
+    Counters are compared *exactly* — the simulator is deterministic, so
+    any counter difference is a real behaviour change and fails the gate
+    as a mismatch, like a vanished series would.  Sketch quantiles
+    (p50/p90/p99 per sketch) go through the percentage threshold like
+    timing metrics, since the sketch itself carries a ~1% relative-error
+    bound.
+    """
+    if threshold_pct < 0:
+        raise ValueError(f"threshold_pct must be >= 0, got {threshold_pct}")
+    diff = BenchDiff(threshold_pct=threshold_pct)
+    if tuple(old.shards) != tuple(new.shards):
+        diff.mismatches.append(
+            f"shards differ: old={list(old.shards)} new={list(new.shards)}"
+        )
+    for key in sorted(set(old.counters) | set(new.counters)):
+        if key not in old.counters:
+            diff.mismatches.append(f"counter {key!r} missing from OLD")
+        elif key not in new.counters:
+            diff.mismatches.append(f"counter {key!r} missing from NEW")
+        elif old.counters[key] != new.counters[key]:
+            diff.mismatches.append(
+                f"counter {key!r} differs: old={old.counters[key]:g} "
+                f"new={new.counters[key]:g}"
+            )
+    for key in sorted(set(old.sketches) | set(new.sketches)):
+        if key not in new.sketches:
+            diff.mismatches.append(f"sketch {key!r} missing from NEW")
+            continue
+        if key not in old.sketches:
+            diff.mismatches.append(f"sketch {key!r} missing from OLD")
+            continue
+        osk, nsk = old.sketches[key], new.sketches[key]
+        for label, q in SKETCH_QUANTILES:
+            diff.deltas.append(Delta(
+                algorithm=key,
+                nodes="sketch",
+                metric=label,
+                old=osk.quantile(q),
+                new=nsk.quantile(q),
+            ))
     return diff

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Nine commands:
+Ten commands:
 
 * ``run``     — one simulated join, printing the phase/traffic summary.
 * ``workload`` — many concurrent joins over one shared node pool, with
@@ -13,8 +13,11 @@ Nine commands:
 * ``metrics`` — run one join and dump the metrics registry snapshot.
 * ``explain`` — run one join and print the causal critical-path /
   bottleneck report (see ``docs/OBSERVABILITY.md``).
-* ``bench-diff`` — compare two ``BENCH_*.json`` baselines; nonzero exit
-  on regressions beyond the threshold (the CI perf gate).
+* ``bench-diff`` — compare two ``BENCH_*.json`` baselines or two
+  observability snapshots (``--snapshot-out`` files; auto-detected);
+  nonzero exit on regressions beyond the threshold (the CI perf gate).
+* ``tail``    — render a ``--snapshot-out`` JSONL snapshot stream as
+  per-snapshot progress lines plus a final-state digest.
 * ``lint``    — run the repo's own static-analysis passes (determinism,
   protocol exhaustiveness, metrics-catalogue sync, fault safety); see
   ``docs/STATIC_ANALYSIS.md``.
@@ -25,6 +28,9 @@ Examples::
     python -m repro run --algorithm split --sigma 0.0001 --trace
     python -m repro workload --queries 6 --pool 8 --policy fair
     python -m repro workload --mix hybrid:2:2:2:2 --mix ooc:1:4:4:2 --format json
+    python -m repro workload --queries 8 --live --obs-budget 65536 \\
+        --snapshot-out run.snap.jsonl
+    python -m repro tail run.snap.jsonl
     python -m repro sweep --initial-nodes 1,2,4,8,16
     python -m repro figures --only fig02 fig10 --out reports.md
     python -m repro trace --algorithm hybrid --format chrome --out trace.json
@@ -49,6 +55,7 @@ from .config import (
     ClusterSpec,
     Distribution,
     MTUPLES,
+    ObsConfig,
     PoolPolicy,
     QueryMixEntry,
     RunConfig,
@@ -228,6 +235,22 @@ def _config(args: argparse.Namespace, algorithm: Algorithm,
     )
 
 
+def _refuse_overwrite(path: str | None, force: bool, command: str) -> bool:
+    """True when ``path`` exists and ``--force`` was not given.
+
+    Checked before the simulation runs, so a collision fails in
+    milliseconds instead of after the join completes — and an existing
+    export is never clobbered by a fat-fingered re-run.
+    """
+    import os
+
+    if path and os.path.exists(path) and not force:
+        print(f"{command}: refusing to overwrite existing {path}; "
+              f"pass --force to replace it", file=sys.stderr)
+        return True
+    return False
+
+
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
@@ -320,6 +343,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     from .obs import chrome_trace, trace_to_jsonl
 
+    if _refuse_overwrite(args.out, args.force, "trace"):
+        return 2
     algorithm = Algorithm(args.algorithm)
     initial = int(args.initial_nodes.split(",")[0])
     cfg = _config(args, algorithm, initial, force_trace=True)
@@ -343,6 +368,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import metrics_to_jsonl
 
+    if _refuse_overwrite(args.out, args.force, "metrics"):
+        return 2
     algorithm = Algorithm(args.algorithm)
     initial = int(args.initial_nodes.split(",")[0])
     cfg = _config(args, algorithm, initial)
@@ -439,6 +466,7 @@ def _parse_mix_entry(text: str) -> QueryMixEntry:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    from .obs import Snapshot
     from .workload import run_workload
 
     plan = _faults(args)
@@ -448,9 +476,18 @@ def cmd_workload(args: argparse.Namespace) -> int:
               "is single-query only; see docs/FAULTS.md",
               file=sys.stderr)
         return 2
+    live = args.live or args.live_interval is not None
     try:
         mix = tuple(_parse_mix_entry(m) for m in args.mix) if args.mix else (
             QueryMixEntry(initial_nodes=2),
+        )
+        obs = ObsConfig(
+            budget_bytes=args.obs_budget,
+            live_interval_s=(
+                (args.live_interval if args.live_interval is not None
+                 else 25.0 * args.scale)
+                if live else None
+            ),
         )
         cfg = WorkloadConfig(
             n_queries=args.queries,
@@ -471,11 +508,37 @@ def cmd_workload(args: argparse.Namespace) -> int:
             trace=args.trace,
             faults=plan,
             lockdep=args.lockdep,
+            obs=obs,
         )
     except ValueError as exc:
         print(f"workload: {exc}", file=sys.stderr)
         return 2
-    res = run_workload(cfg, validate=not args.no_validate)
+
+    # Live telemetry: one progress line per periodic snapshot, optionally
+    # streamed to a JSONL file (`repro tail` renders it; the final
+    # snapshot is always appended last, so the file's last line is the
+    # run's end state — what bench-diff compares).
+    snap_fh = None
+    if args.snapshot_out:
+        snap_fh = open(args.snapshot_out, "w", encoding="utf-8")
+
+    def on_snapshot(snap: Snapshot) -> None:
+        if live:
+            print(f"live: {snap.describe()}")
+        if snap_fh is not None:
+            snap_fh.write(snap.to_json() + "\n")
+            snap_fh.flush()
+
+    try:
+        res = run_workload(cfg, validate=not args.no_validate,
+                           on_snapshot=on_snapshot)
+        if res.snapshot is not None:
+            on_snapshot(res.snapshot)
+    finally:
+        if snap_fh is not None:
+            snap_fh.close()
+    if args.snapshot_out:
+        print(f"wrote {args.snapshot_out} (snapshot stream)")
     if args.format == "json":
         payload = json.dumps(res.to_dict(), indent=1) + "\n"
     else:
@@ -519,12 +582,37 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_diff(args: argparse.Namespace) -> int:
-    from .bench import BaselineError, diff_baselines, load_baseline
+    from .bench import (
+        BaselineError,
+        diff_baselines,
+        diff_snapshots,
+        is_snapshot_doc,
+        load_baseline,
+        load_document,
+    )
+    from .obs import Snapshot
 
     try:
-        old = load_baseline(args.old)
-        new = load_baseline(args.new)
-        diff = diff_baselines(old, new, threshold_pct=args.threshold)
+        old_doc = load_document(args.old)
+        new_doc = load_document(args.new)
+        old_snap, new_snap = is_snapshot_doc(old_doc), is_snapshot_doc(new_doc)
+        if old_snap != new_snap:
+            kinds = [
+                "snapshot" if s else "figure baseline"
+                for s in (old_snap, new_snap)
+            ]
+            print(f"bench-diff: cannot compare a {kinds[0]} ({args.old}) "
+                  f"against a {kinds[1]} ({args.new})", file=sys.stderr)
+            return 2
+        if old_snap:
+            diff = diff_snapshots(
+                Snapshot.from_dict(old_doc), Snapshot.from_dict(new_doc),
+                threshold_pct=args.threshold,
+            )
+        else:
+            old = load_baseline(args.old)
+            new = load_baseline(args.new)
+            diff = diff_baselines(old, new, threshold_pct=args.threshold)
     except (BaselineError, ValueError) as exc:
         print(f"bench-diff: {exc}", file=sys.stderr)
         return 2
@@ -533,6 +621,48 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     else:
         print(diff.to_text())
     return 0 if diff.ok else 1
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    from .obs import Snapshot
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        print(f"tail: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not lines:
+        print(f"tail: {args.path}: empty snapshot stream", file=sys.stderr)
+        return 2
+    snaps = []
+    for lineno, line in enumerate(lines, 1):
+        try:
+            snaps.append(Snapshot.from_json(line))
+        except ValueError as exc:
+            print(f"tail: {args.path}:{lineno}: {exc}", file=sys.stderr)
+            return 2
+    for snap in snaps:
+        print(snap.describe())
+    last = snaps[-1]
+    rows = [[name, f"{value:g}"]
+            for name, value in sorted(last.counters.items()) if value]
+    for name, sk in sorted(last.sketches.items()):
+        if not sk.count:
+            continue
+        pcts = sk.percentiles((50, 90, 99))
+        rows.append([
+            name,
+            f"p50={pcts['p50']:g} p90={pcts['p90']:g} p99={pcts['p99']:g} "
+            f"(n={sk.count})",
+        ])
+    print()
+    print(f"final snapshot: {len(snaps)} snapshot(s), "
+          f"shards={','.join(last.shards)}, "
+          f"{len(last.spans)} sampled spans "
+          f"({last.spans.dropped} shed)")
+    print(format_table(["metric", "value"], rows))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -692,7 +822,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--baseline", metavar="PATH",
                       help="write a bench-diff-compatible baseline "
                            "(total_s=makespan, build_s=p99 latency)")
+    p_wl.add_argument("--live", action="store_true",
+                      help="print one progress line per periodic "
+                           "observability snapshot (simulated-clock "
+                           "cadence; see docs/OBSERVABILITY.md)")
+    p_wl.add_argument("--live-interval", type=float, default=None,
+                      metavar="S",
+                      help="snapshot cadence in simulated seconds "
+                           "(implies --live; default 25*scale)")
+    p_wl.add_argument("--obs-budget", type=int, default=None, metavar="BYTES",
+                      help="cap observability memory: bounded span/edge "
+                           "sampling, ring buffers and sketch bins sized "
+                           "to this many bytes (min 4096; shed records "
+                           "are counted, never silent)")
+    p_wl.add_argument("--snapshot-out", metavar="PATH",
+                      help="append each snapshot as one JSON line "
+                           "(final snapshot last; render with "
+                           "'repro tail PATH', compare with "
+                           "'repro bench-diff')")
     p_wl.set_defaults(func=cmd_workload)
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="render a --snapshot-out JSONL snapshot stream",
+    )
+    p_tail.add_argument("path", metavar="SNAPSHOT.jsonl",
+                        help="snapshot stream written by "
+                             "'repro workload --snapshot-out'")
+    p_tail.set_defaults(func=cmd_tail)
 
     p_trace = sub.add_parser(
         "trace", parents=[common],
@@ -706,6 +863,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "Perfetto) or JSONL records")
     p_trace.add_argument("--out", help="write here instead of stdout "
                                        "(also prints the phase timeline)")
+    p_trace.add_argument("--force", action="store_true",
+                         help="overwrite an existing --out file")
     p_trace.set_defaults(func=cmd_trace)
 
     p_metrics = sub.add_parser(
@@ -718,6 +877,8 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["table", "jsonl"])
     p_metrics.add_argument("--out",
                            help="write here instead of stdout (either format)")
+    p_metrics.add_argument("--force", action="store_true",
+                           help="overwrite an existing --out file")
     p_metrics.set_defaults(func=cmd_metrics)
 
     p_explain = sub.add_parser(

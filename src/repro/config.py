@@ -25,6 +25,7 @@ __all__ = [
     "Distribution",
     "CostModel",
     "ClusterSpec",
+    "ObsConfig",
     "WorkloadSpec",
     "RunConfig",
     "PoolPolicy",
@@ -287,6 +288,43 @@ class WorkloadSpec:
         return self.real_chunk_tuples * self.tuple_bytes
 
 
+@dataclass(frozen=True)
+class ObsConfig:
+    """Streaming-observability knobs (docs/OBSERVABILITY.md §Streaming).
+
+    ``budget_bytes`` caps the run's observability state: span and causal
+    logs switch to deterministic reservoir sampling, sketch/ring
+    capacities shrink to fit, and whatever is shed is counted in the
+    ``obs.spans_dropped`` / ``obs.edges_dropped`` metrics.  ``None``
+    keeps today's full-history collectors (and an unchanged report).
+
+    ``live_interval_s`` turns on the periodic snapshot emitter (one
+    mergeable :class:`repro.obs.Snapshot` per interval of simulated
+    time); ``shard`` names this run in merged snapshots.
+    """
+
+    budget_bytes: int | None = None
+    live_interval_s: float | None = None
+    shard: str = "shard0"
+    #: simulated seconds per time-series ring bucket
+    ring_resolution_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes is not None and self.budget_bytes < 4096:
+            raise ValueError(
+                f"obs budget must be >= 4096 bytes, got {self.budget_bytes}"
+            )
+        if self.live_interval_s is not None and self.live_interval_s <= 0:
+            raise ValueError("live_interval_s must be > 0 (or None)")
+        if self.ring_resolution_s <= 0:
+            raise ValueError("ring_resolution_s must be > 0")
+        if not self.shard or any(c in self.shard for c in ",|"):
+            raise ValueError(
+                f"shard name must be non-empty without ','/'|', "
+                f"got {self.shard!r}"
+            )
+
+
 class PoolPolicy(enum.Enum):
     """Arbitration rule of the shared resource pool (``repro.workload``).
 
@@ -376,6 +414,8 @@ class WorkloadConfig:
     #: attach the runtime deadlock detector to the shared simulator
     #: (threaded into every query's RunConfig; see RunConfig.lockdep)
     lockdep: bool = False
+    #: streaming observability: byte budget, live snapshot emission
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.n_queries < 1:
@@ -480,10 +520,17 @@ class RunConfig:
     #: simulated timeline is bit-identical with it on or off.  The test
     #: suite turns it on by default (REPRO_LOCKDEP=0 opts out).
     lockdep: bool = False
+    #: observability byte budget for this run's span/causal logs (None =
+    #: unbounded full-history logs; see ObsConfig.budget_bytes)
+    obs_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.initial_nodes < 1:
             raise ValueError("initial_nodes must be >= 1")
+        if self.obs_budget_bytes is not None and self.obs_budget_bytes < 4096:
+            raise ValueError(
+                f"obs budget must be >= 4096 bytes, got {self.obs_budget_bytes}"
+            )
         if self.trace_buffer is not None and self.trace_buffer < 1:
             raise ValueError("trace_buffer must be >= 1 (or None)")
         if self.initial_nodes > self.cluster.n_potential_nodes:

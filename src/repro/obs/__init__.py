@@ -34,6 +34,17 @@ from .metrics import (
     MetricsRegistry,
     TimeWeightedHistogram,
 )
+from .streaming import (
+    BoundedCausalLog,
+    BoundedSpanLog,
+    ObsBudget,
+    QuantileSketch,
+    ReservoirSample,
+    Snapshot,
+    StreamingCollector,
+    TimeSeriesRing,
+    merge_snapshots,
+)
 from .timeline import (
     PHASE_NAMES,
     SCHEDULER_TRACK,
@@ -43,6 +54,8 @@ from .timeline import (
 )
 
 __all__ = [
+    "BoundedCausalLog",
+    "BoundedSpanLog",
     "CausalLog",
     "Counter",
     "ExplainReport",
@@ -51,10 +64,16 @@ __all__ = [
     "Gauge",
     "MessageEdge",
     "MetricsRegistry",
+    "ObsBudget",
     "PathStep",
     "PhaseTimeline",
+    "QuantileSketch",
+    "ReservoirSample",
+    "Snapshot",
     "Span",
     "SpanLog",
+    "StreamingCollector",
+    "TimeSeriesRing",
     "TimeWeightedHistogram",
     "chrome_trace",
     "critical_path",
@@ -62,6 +81,7 @@ __all__ = [
     "harvest_network",
     "harvest_nodes",
     "harvest_simulator",
+    "merge_snapshots",
     "metrics_to_jsonl",
     "trace_to_jsonl",
 ]

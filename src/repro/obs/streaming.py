@@ -1,0 +1,1043 @@
+"""Streaming, mergeable observability: sketches, rings, bounded logs.
+
+Everything in this module holds **O(budget)** state no matter how many
+events a run produces, and everything merges:
+
+* :class:`QuantileSketch` — a DDSketch-style logarithmic-bucket quantile
+  sketch.  For ``alpha = 0.01`` every quantile estimate is within 1%
+  *relative* error of the exact order statistic at rank
+  ``floor(q * (n - 1))`` (``np.percentile(..., method="lower")``).
+  Merging two sketches is bucket-wise addition, so merge is associative,
+  commutative and insert-order invariant — the laws the fleet layer
+  (ROADMAP item 2) needs to sum shard results in any order.
+* :class:`TimeSeriesRing` — a fixed-resolution ring of per-interval
+  aggregates ``(count, sum, min, max, last)`` keyed by the *absolute*
+  bucket index ``floor(t / resolution)``, so rings from independent
+  shards align by simulated time when merged.
+* :class:`ReservoirSample` — deterministic bottom-k sampling by a
+  content hash (``blake2b``, never Python's salted ``hash()``), plus an
+  always-keep set of the ``outliers`` heaviest records.  The retained
+  set is a pure function of the *offered* set (canonical form is
+  re-established after every insert), which makes it insert-order
+  invariant and gives ``merge(a, b) == sample(a ∪ b)``.
+* :class:`BoundedSpanLog` / :class:`BoundedCausalLog` — drop-in
+  ``SpanLog`` / ``CausalLog`` replacements that keep a reservoir sample
+  (weight = span duration / edge bytes) instead of every record, and
+  count what they shed (``obs.spans_dropped`` / ``obs.edges_dropped``).
+* :class:`Snapshot` — the frozen, JSON-stable union of counters,
+  gauge/histogram summaries, sketches, rings and sampled spans.
+  ``Snapshot.merge()`` is the wire contract between future fleet
+  processes: associative, commutative, and byte-identical across
+  repeated runs (``to_json()`` sorts keys and uses canonical floats).
+* :class:`ObsBudget` — translates a ``--obs-budget`` byte budget into
+  per-collector capacities with documented per-record byte estimates.
+* :class:`StreamingCollector` — the per-run owner of the above, with a
+  registry-to-snapshot converter used by the workload driver and the
+  ``--live`` emitter.
+
+Like the rest of ``repro.obs`` this module imports nothing from the rest
+of ``repro`` and nothing beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .causality import CausalLog, MessageEdge
+from .timeline import Span, SpanLog
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "BoundedCausalLog",
+    "BoundedSpanLog",
+    "ObsBudget",
+    "QuantileSketch",
+    "ReservoirSample",
+    "Snapshot",
+    "StreamingCollector",
+    "TimeSeriesRing",
+    "instrument_key",
+    "merge_snapshots",
+]
+
+#: default sketch relative-error bound (1%)
+DEFAULT_ALPHA = 0.01
+
+#: default cap on sketch buckets per sign (collapse beyond this); at
+#: alpha=0.01 each decade of dynamic range costs ~115 buckets, so 4096
+#: covers ~35 decades — collapse is a pathological-input escape hatch
+DEFAULT_MAX_BINS = 4096
+
+#: values with magnitude at or below this land in the zero bucket
+_MIN_TRACKABLE = 1e-12
+
+#: unbudgeted snapshot-time defaults
+DEFAULT_RING_BUCKETS = 512
+DEFAULT_SPAN_SAMPLE = 256
+DEFAULT_SPAN_OUTLIERS = 32
+
+#: default ring resolution (simulated seconds per bucket)
+DEFAULT_RING_RESOLUTION_S = 0.25
+
+
+# ----------------------------------------------------------------------
+# quantile sketch
+# ----------------------------------------------------------------------
+class QuantileSketch:
+    """DDSketch-style mergeable quantile sketch.
+
+    Values are binned by ``k = ceil(log_gamma(|v|))`` with
+    ``gamma = (1 + alpha) / (1 - alpha)``; the estimate for bucket ``k``
+    is the bucket midpoint ``2 * gamma^k / (gamma + 1)``, which is within
+    ``alpha`` relative error of every value in the bucket.  Negative
+    values use a mirrored bucket table; ``|v| <= 1e-12`` lands in an
+    exact zero bucket.  Estimates are clamped to the observed
+    ``[min, max]``, so the bound also holds at the extremes.
+
+    ``merge`` is bucket-wise addition — associative, commutative, and
+    independent of insertion order.  If a pathological input produces
+    more than ``max_bins`` buckets per sign, the lowest buckets are
+    collapsed upward deterministically and ``collapsed`` is set (the
+    error bound then only holds above the collapse point).
+    """
+
+    __slots__ = ("alpha", "max_bins", "gamma", "_log_gamma",
+                 "count", "total", "vmin", "vmax", "zero_count",
+                 "_pos", "_neg", "collapsed")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA,
+                 max_bins: int = DEFAULT_MAX_BINS) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.alpha = alpha
+        self.max_bins = max_bins
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self.gamma)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+        self.zero_count = 0
+        self._pos: dict[int, int] = {}
+        self._neg: dict[int, int] = {}
+        self.collapsed = False
+
+    # -- ingest --------------------------------------------------------
+    def _key(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def add(self, value: float, count: int = 1) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"sketch value must be finite, got {value!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        value = float(value)
+        if abs(value) <= _MIN_TRACKABLE:
+            self.zero_count += count
+        elif value > 0:
+            k = self._key(value)
+            self._pos[k] = self._pos.get(k, 0) + count
+            self._collapse(self._pos)
+        else:
+            k = self._key(-value)
+            self._neg[k] = self._neg.get(k, 0) + count
+            self._collapse(self._neg)
+        self.count += count
+        self.total += value * count
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    def _collapse(self, bins: dict[int, int]) -> None:
+        while len(bins) > self.max_bins:
+            keys = sorted(bins)
+            bins[keys[1]] += bins.pop(keys[0])
+            self.collapsed = True
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: QuantileSketch) -> QuantileSketch:
+        """Bucket-wise sum of two sketches (same ``alpha``/``max_bins``)."""
+        if (self.alpha, self.max_bins) != (other.alpha, other.max_bins):
+            raise ValueError(
+                "cannot merge sketches with different parameters: "
+                f"alpha {self.alpha} vs {other.alpha}, "
+                f"max_bins {self.max_bins} vs {other.max_bins}"
+            )
+        out = QuantileSketch(self.alpha, self.max_bins)
+        for src in (self, other):
+            for k, c in src._pos.items():
+                out._pos[k] = out._pos.get(k, 0) + c
+            for k, c in src._neg.items():
+                out._neg[k] = out._neg.get(k, 0) + c
+            out.zero_count += src.zero_count
+            out.count += src.count
+            out.total += src.total
+            if src.vmin is not None and (out.vmin is None or src.vmin < out.vmin):
+                out.vmin = src.vmin
+            if src.vmax is not None and (out.vmax is None or src.vmax > out.vmax):
+                out.vmax = src.vmax
+            out.collapsed = out.collapsed or src.collapsed
+        out._collapse(out._pos)
+        out._collapse(out._neg)
+        return out
+
+    # -- query ---------------------------------------------------------
+    def _estimate(self, key: int) -> float:
+        return 2.0 * self.gamma ** key / (self.gamma + 1.0)
+
+    def _clamp(self, value: float) -> float:
+        assert self.vmin is not None and self.vmax is not None
+        return min(max(value, self.vmin), self.vmax)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the order statistic at rank ``floor(q * (count-1))``.
+
+        Returns 0.0 on an empty sketch.  The estimate is within
+        ``alpha`` relative error of the exact rank value (unless
+        ``collapsed``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = math.floor(q * (self.count - 1))
+        cum = 0
+        # ascending value order: most-negative first (largest |v| key)
+        for k in sorted(self._neg, reverse=True):
+            cum += self._neg[k]
+            if cum > rank:
+                return self._clamp(-self._estimate(k))
+        cum += self.zero_count
+        if cum > rank:
+            return self._clamp(0.0)
+        for k in sorted(self._pos):
+            cum += self._pos[k]
+            if cum > rank:
+                return self._clamp(self._estimate(k))
+        return self.vmax  # type: ignore[return-value]  # count > 0
+
+    def percentiles(self, qs: tuple[float, ...] = (50, 90, 99)) -> dict[str, float]:
+        """``{"p50": ..., ...}`` for percentile points in [0, 100]."""
+        return {f"p{q:g}": self.quantile(q / 100.0) for q in qs}
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # -- codec ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "alpha": self.alpha,
+            "max_bins": self.max_bins,
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "zero": self.zero_count,
+            "pos": {str(k): c for k, c in sorted(self._pos.items())},
+            "neg": {str(k): c for k, c in sorted(self._neg.items())},
+            "collapsed": self.collapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> QuantileSketch:
+        out = cls(d["alpha"], d["max_bins"])
+        out.count = int(d["count"])
+        out.total = float(d["total"])
+        out.vmin = None if d["min"] is None else float(d["min"])
+        out.vmax = None if d["max"] is None else float(d["max"])
+        out.zero_count = int(d["zero"])
+        out._pos = {int(k): int(c) for k, c in d["pos"].items()}
+        out._neg = {int(k): int(c) for k, c in d["neg"].items()}
+        out.collapsed = bool(d["collapsed"])
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: buckets/counts/extremes exact; ``total``
+        (a float accumulator) within rounding, since float addition is
+        not associative in the last ulp."""
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        a, b = self.to_dict(), other.to_dict()
+        ta, tb = a.pop("total"), b.pop("total")
+        return a == b and math.isclose(ta, tb, rel_tol=1e-9, abs_tol=1e-12)
+
+    def __repr__(self) -> str:
+        return (f"QuantileSketch(alpha={self.alpha}, count={self.count}, "
+                f"bins={len(self._pos) + len(self._neg)})")
+
+
+# ----------------------------------------------------------------------
+# fixed-resolution time-series ring
+# ----------------------------------------------------------------------
+class TimeSeriesRing:
+    """Per-interval aggregates keyed by absolute bucket index.
+
+    Each bucket is ``[count, sum, min, max, t_last, v_last]`` over the
+    observations in ``[idx * res, (idx + 1) * res)``.  Only the newest
+    ``n_buckets`` buckets are retained; evicted observation counts are
+    tracked in ``evicted``.  Merging aligns buckets by index (both rings
+    must share a resolution), so shard rings line up on simulated time.
+    """
+
+    __slots__ = ("resolution_s", "n_buckets", "evicted", "_buckets")
+
+    def __init__(self, resolution_s: float, n_buckets: int) -> None:
+        if resolution_s <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution_s}")
+        if n_buckets < 1:
+            raise ValueError(f"ring needs >= 1 bucket, got {n_buckets}")
+        self.resolution_s = float(resolution_s)
+        self.n_buckets = int(n_buckets)
+        self.evicted = 0
+        self._buckets: dict[int, list[float]] = {}
+
+    def observe(self, t: float, value: float) -> None:
+        idx = math.floor(t / self.resolution_s)
+        b = self._buckets.get(idx)
+        if b is None:
+            self._buckets[idx] = [1, value, value, value, t, value]
+        else:
+            b[0] += 1
+            b[1] += value
+            b[2] = min(b[2], value)
+            b[3] = max(b[3], value)
+            if (t, value) >= (b[4], b[5]):
+                b[4], b[5] = t, value
+        self._trim()
+
+    def _trim(self) -> None:
+        if len(self._buckets) <= self.n_buckets:
+            return
+        for idx in sorted(self._buckets)[: len(self._buckets) - self.n_buckets]:
+            self.evicted += int(self._buckets.pop(idx)[0])
+
+    def merge(self, other: TimeSeriesRing) -> TimeSeriesRing:
+        if self.resolution_s != other.resolution_s:
+            raise ValueError(
+                f"cannot merge rings with different resolutions: "
+                f"{self.resolution_s} vs {other.resolution_s}"
+            )
+        out = TimeSeriesRing(self.resolution_s,
+                             max(self.n_buckets, other.n_buckets))
+        out.evicted = self.evicted + other.evicted
+        for src in (self, other):
+            for idx, b in src._buckets.items():
+                cur = out._buckets.get(idx)
+                if cur is None:
+                    out._buckets[idx] = list(b)
+                else:
+                    cur[0] += b[0]
+                    cur[1] += b[1]
+                    cur[2] = min(cur[2], b[2])
+                    cur[3] = max(cur[3], b[3])
+                    if (b[4], b[5]) >= (cur[4], cur[5]):
+                        cur[4], cur[5] = b[4], b[5]
+        out._trim()
+        return out
+
+    @property
+    def count(self) -> int:
+        return self.evicted + sum(int(b[0]) for b in self._buckets.values())
+
+    def series(self) -> list[tuple[int, list[float]]]:
+        """Retained ``(index, bucket)`` pairs in time order."""
+        return [(idx, list(self._buckets[idx]))
+                for idx in sorted(self._buckets)]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "resolution_s": self.resolution_s,
+            "n": self.n_buckets,
+            "evicted": self.evicted,
+            "buckets": {str(idx): list(b)
+                        for idx, b in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> TimeSeriesRing:
+        out = cls(d["resolution_s"], d["n"])
+        out.evicted = int(d["evicted"])
+        out._buckets = {int(k): list(v) for k, v in d["buckets"].items()}
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeriesRing):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+
+# ----------------------------------------------------------------------
+# deterministic reservoir
+# ----------------------------------------------------------------------
+def _priority(ident: str) -> int:
+    """Deterministic sampling priority: a keyed content hash.
+
+    Never Python's builtin ``hash()`` — that is salted per interpreter
+    run and would make sampling (and snapshot bytes) irreproducible.
+    """
+    digest = hashlib.blake2b(ident.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ReservoirSample:
+    """Bottom-k-by-hash sample plus an always-keep heavy-outlier set.
+
+    The retained set is *canonical*: after every insert it equals
+    ``bottom(sample)`` of the offered idents by ``(priority, ident)``
+    union ``top(outliers)`` by ``(-weight, priority, ident)``.  Because
+    that is a pure function of the offered set, insertion order never
+    matters and ``a.merge(b)`` retains exactly what a single reservoir
+    offered ``a ∪ b`` would — the property that makes shard samples
+    combinable.  ``dropped`` counts offered-but-shed records.
+    """
+
+    __slots__ = ("sample", "outliers", "total", "_items")
+
+    def __init__(self, sample: int, outliers: int = 0) -> None:
+        if sample < 1:
+            raise ValueError(f"reservoir sample must be >= 1, got {sample}")
+        if outliers < 0:
+            raise ValueError(f"outlier count must be >= 0, got {outliers}")
+        self.sample = int(sample)
+        self.outliers = int(outliers)
+        self.total = 0
+        #: ident -> (priority, weight, payload)
+        self._items: dict[str, tuple[int, float, Any]] = {}
+
+    def add(self, ident: str, weight: float, payload: Any) -> None:
+        self.total += 1
+        if ident not in self._items:
+            self._items[ident] = (_priority(ident), float(weight), payload)
+            self._trim()
+
+    def _trim(self) -> None:
+        if len(self._items) <= self.sample:
+            return
+        by_priority = sorted(self._items.items(),
+                             key=lambda kv: (kv[1][0], kv[0]))
+        keep = {k for k, _ in by_priority[: self.sample]}
+        if self.outliers:
+            by_weight = sorted(self._items.items(),
+                               key=lambda kv: (-kv[1][1], kv[1][0], kv[0]))
+            keep.update(k for k, _ in by_weight[: self.outliers])
+        if len(keep) < len(self._items):
+            self._items = {k: v for k, v in self._items.items() if k in keep}
+
+    def merge(self, other: ReservoirSample) -> ReservoirSample:
+        if (self.sample, self.outliers) != (other.sample, other.outliers):
+            raise ValueError(
+                "cannot merge reservoirs with different capacities: "
+                f"({self.sample},{self.outliers}) vs "
+                f"({other.sample},{other.outliers})"
+            )
+        out = ReservoirSample(self.sample, self.outliers)
+        out.total = self.total + other.total
+        out._items = dict(self._items)
+        for k, v in other._items.items():
+            out._items.setdefault(k, v)
+        out._trim()
+        return out
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._items)
+
+    def kept(self) -> list[tuple[str, float, Any]]:
+        """Retained ``(ident, weight, payload)`` in priority order."""
+        return [(k, v[1], v[2])
+                for k, v in sorted(self._items.items(),
+                                   key=lambda kv: (kv[1][0], kv[0]))]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, ident: str) -> bool:
+        return ident in self._items
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sample": self.sample,
+            "outliers": self.outliers,
+            "total": self.total,
+            "items": [
+                {"ident": ident, "weight": weight, "payload": payload}
+                for ident, weight, payload in self.kept()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> ReservoirSample:
+        out = cls(d["sample"], d["outliers"])
+        for item in d["items"]:
+            out._items[item["ident"]] = (
+                _priority(item["ident"]),
+                float(item["weight"]),
+                item["payload"],
+            )
+        out.total = int(d["total"])
+        out._trim()
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReservoirSample):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+
+# ----------------------------------------------------------------------
+# bounded span / causal logs
+# ----------------------------------------------------------------------
+class BoundedSpanLog(SpanLog):
+    """``SpanLog`` that keeps a deterministic sample instead of everything.
+
+    Sampling weight is the span's duration, so the ``outliers`` longest
+    spans are always retained (they are the ones critical-path and phase
+    reports care about); the rest are an unbiased-by-hash sample.
+    ``spans`` stays a list (sorted by start time) so every existing
+    consumer — ``PhaseTimeline``, exporters, reports — works unchanged.
+    """
+
+    def __init__(self, sample: int = DEFAULT_SPAN_SAMPLE,
+                 outliers: int = DEFAULT_SPAN_OUTLIERS) -> None:
+        # deliberately not calling super().__init__: ``spans`` is a
+        # property here, backed by the reservoir
+        self._reservoir = ReservoirSample(sample, outliers)
+        self._seq = 0
+        self._cache: list[Span] | None = None
+
+    @property
+    def spans(self) -> list[Span]:  # type: ignore[override]
+        if self._cache is None:
+            self._cache = sorted(
+                (payload for _, _, payload in self._reservoir.kept()),
+                key=lambda s: (s.t0, s.t1, s.track, s.name),
+            )
+        return self._cache
+
+    def add(self, track: str, name: str, t0: float, t1: float,
+            **args: Any) -> Span:
+        if t1 < t0:
+            raise ValueError(f"span {name!r} ends before it starts")
+        span = Span(track, name, t0, t1, args)
+        ident = f"{self._seq:08d}|{track}|{name}"
+        self._seq += 1
+        self._reservoir.add(ident, t1 - t0, span)
+        self._cache = None
+        return span
+
+    @property
+    def total(self) -> int:
+        return self._reservoir.total
+
+    @property
+    def dropped(self) -> int:
+        return self._reservoir.dropped
+
+
+class BoundedCausalLog(CausalLog):
+    """``CausalLog`` that samples edges instead of keeping all of them.
+
+    Sampling weight is the edge's wire bytes, so the heaviest transfers
+    are always retained.  Edge ids keep counting monotonically
+    (``total``), edge objects are shared with the network (delivery
+    stamps and retransmission counts mutate the same object whether or
+    not it is retained), and the query surface skips sampled-out parents
+    instead of indexing positionally.
+    """
+
+    def __init__(self, aliases: dict[str, str] | None = None,
+                 sample: int = DEFAULT_SPAN_SAMPLE,
+                 outliers: int = DEFAULT_SPAN_OUTLIERS) -> None:
+        # deliberately not calling super().__init__: ``edges`` is a
+        # property here, backed by the reservoir
+        self._aliases = dict(aliases or {})
+        self._cause = {}
+        self._pending = {}
+        self._reservoir = ReservoirSample(sample, outliers)
+        self._next_eid = 0
+        self._cache: list[MessageEdge] | None = None
+
+    @property
+    def edges(self) -> list[MessageEdge]:  # type: ignore[override]
+        if self._cache is None:
+            self._cache = sorted(
+                (payload for _, _, payload in self._reservoir.kept()),
+                key=lambda e: e.eid,
+            )
+        return self._cache
+
+    def on_send(self, src: str, dst: str, message: Any, t: float,
+                parent: int | None = None) -> MessageEdge:
+        if parent is None:
+            parent = self._cause.get(self.alias(src))
+        edge = MessageEdge(
+            eid=self._next_eid,
+            src=self.alias(src),
+            dst=self.alias(dst),
+            kind=message.kind,
+            msg_type=type(message).__name__,
+            hop=getattr(message, "hop", None),
+            nbytes=int(message.nbytes),
+            tuples=int(getattr(message, "tuples", 0) or 0),
+            t_send=t,
+            parent=parent,
+        )
+        self._next_eid += 1
+        self._reservoir.add(f"{edge.eid:012d}", float(edge.nbytes), edge)
+        self._cache = None
+        return edge
+
+    @property
+    def total(self) -> int:
+        return self._next_eid
+
+    @property
+    def dropped(self) -> int:
+        return self._reservoir.dropped
+
+    # -- query surface over the retained sample ------------------------
+    def _by_eid(self) -> dict[int, MessageEdge]:
+        return {e.eid: e for e in self.edges}
+
+    def edge(self, eid: int) -> MessageEdge:
+        try:
+            return self._by_eid()[eid]
+        except KeyError:
+            raise KeyError(f"edge {eid} was sampled out "
+                           f"(kept {len(self.edges)}/{self.total})") from None
+
+    def children(self, eid: int) -> list[MessageEdge]:
+        return [e for e in self.edges if e.parent == eid]
+
+    def request_pairs(
+        self, request_type: str, response_type: str
+    ) -> list[tuple[MessageEdge, MessageEdge]]:
+        by_eid = self._by_eid()
+        out: list[tuple[MessageEdge, MessageEdge]] = []
+        for e in self.edges:
+            if e.msg_type != response_type or e.parent is None:
+                continue
+            p = by_eid.get(e.parent)
+            if p is not None and p.msg_type == request_type:
+                out.append((p, e))
+        return out
+
+
+# ----------------------------------------------------------------------
+# byte budget
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObsBudget:
+    """Capacities derived from a ``--obs-budget`` byte budget.
+
+    The budget is split 40% spans / 30% causal edges / 15% rings /
+    15% sketch buckets, using conservative per-record byte estimates
+    (span ≈ 160 B, edge ≈ 200 B, ring bucket ≈ 48 B, sketch bucket
+    ≈ 16 B) with floors that keep tiny budgets functional.
+    """
+
+    budget_bytes: int
+    span_sample: int
+    span_outliers: int
+    edge_sample: int
+    edge_outliers: int
+    ring_buckets: int
+    sketch_bins: int
+
+    MIN_BYTES = 4096
+    SPAN_BYTES = 160
+    EDGE_BYTES = 200
+    RING_BUCKET_BYTES = 48
+    SKETCH_BIN_BYTES = 16
+
+    @classmethod
+    def from_bytes(cls, budget_bytes: int) -> ObsBudget:
+        if budget_bytes < cls.MIN_BYTES:
+            raise ValueError(
+                f"obs budget must be >= {cls.MIN_BYTES} bytes, "
+                f"got {budget_bytes}"
+            )
+        span_total = max(40, int(0.40 * budget_bytes) // cls.SPAN_BYTES)
+        span_outliers = max(8, span_total // 5)
+        edge_total = max(40, int(0.30 * budget_bytes) // cls.EDGE_BYTES)
+        edge_outliers = max(8, edge_total // 5)
+        return cls(
+            budget_bytes=int(budget_bytes),
+            span_sample=max(32, span_total - span_outliers),
+            span_outliers=span_outliers,
+            edge_sample=max(32, edge_total - edge_outliers),
+            edge_outliers=edge_outliers,
+            ring_buckets=max(16, int(0.15 * budget_bytes)
+                             // cls.RING_BUCKET_BYTES),
+            sketch_bins=max(64, int(0.15 * budget_bytes)
+                            // cls.SKETCH_BIN_BYTES),
+        )
+
+
+# ----------------------------------------------------------------------
+# snapshot
+# ----------------------------------------------------------------------
+def instrument_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Flatten ``(name, labels)`` into the snapshot's string key."""
+    if not labels:
+        return name
+    return name + "|" + ",".join(f"{k}={v}" for k, v in sorted(labels))
+
+
+SNAPSHOT_KIND = "repro-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A frozen, JSON-stable, mergeable summary of one (partial) run.
+
+    The merge laws, per section:
+
+    * ``counters`` — key-union sum;
+    * ``gauges`` — ``high`` max, ``low`` min, ``samples`` sum (the
+      point-in-time ``last``/``mean`` of a gauge are not mergeable and
+      are deliberately not carried);
+    * ``histograms`` — bucket-wise second sums, ``high`` max (bounds
+      must match);
+    * ``sketches`` / ``rings`` / ``spans`` — delegated to
+      :class:`QuantileSketch` / :class:`TimeSeriesRing` /
+      :class:`ReservoirSample` merges;
+    * ``t`` — max; ``shards`` — sorted union.
+
+    Every law is associative and commutative, so a fleet can fold shard
+    snapshots in any order and get byte-identical ``to_json()`` output.
+    """
+
+    t: float
+    shards: tuple[str, ...]
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, dict[str, float]] = field(default_factory=dict)
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
+    sketches: dict[str, QuantileSketch] = field(default_factory=dict)
+    rings: dict[str, TimeSeriesRing] = field(default_factory=dict)
+    spans: ReservoirSample = field(
+        default_factory=lambda: ReservoirSample(
+            DEFAULT_SPAN_SAMPLE, DEFAULT_SPAN_OUTLIERS
+        )
+    )
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: Snapshot) -> Snapshot:
+        counters = dict(self.counters)
+        for k, v in other.counters.items():
+            counters[k] = counters.get(k, 0) + v
+
+        gauges = {k: dict(v) for k, v in self.gauges.items()}
+        for k, g in other.gauges.items():
+            cur = gauges.get(k)
+            if cur is None:
+                gauges[k] = dict(g)
+            else:
+                cur["high"] = max(cur["high"], g["high"])
+                cur["low"] = min(cur["low"], g["low"])
+                cur["samples"] = cur["samples"] + g["samples"]
+
+        histograms = {k: _copy_hist(v) for k, v in self.histograms.items()}
+        for k, h in other.histograms.items():
+            cur = histograms.get(k)
+            if cur is None:
+                histograms[k] = _copy_hist(h)
+            elif cur["bounds"] != h["bounds"]:
+                raise ValueError(
+                    f"cannot merge histogram {k!r}: bucket bounds differ"
+                )
+            else:
+                cur["high"] = max(cur["high"], h["high"])
+                cur["total_seconds"] += h["total_seconds"]
+                cur["weighted_sum"] += h["weighted_sum"]
+                for label, sec in h["buckets"].items():
+                    cur["buckets"][label] = cur["buckets"].get(label, 0.0) + sec
+
+        sketches = dict(self.sketches)
+        for k, s in other.sketches.items():
+            sketches[k] = sketches[k].merge(s) if k in sketches else s
+
+        rings = dict(self.rings)
+        for k, r in other.rings.items():
+            rings[k] = rings[k].merge(r) if k in rings else r
+
+        return Snapshot(
+            t=max(self.t, other.t),
+            shards=tuple(sorted(set(self.shards) | set(other.shards))),
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+            sketches=sketches,
+            rings=rings,
+            spans=self.spans.merge(other.spans),
+        )
+
+    # -- queries -------------------------------------------------------
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label variants."""
+        return sum(v for k, v in self.counters.items()
+                   if k == name or k.startswith(name + "|"))
+
+    def quantile(self, metric: str, q: float) -> float:
+        sk = self.sketches.get(metric)
+        return sk.quantile(q) if sk is not None else 0.0
+
+    def describe(self) -> str:
+        """One-line progress summary for ``--live`` / ``repro tail``."""
+        parts = [f"t={self.t:9.3f}s"]
+        sk = self.sketches.get("workload.query_latency_s")
+        # Mid-run the registry counter lags (queries are counted at
+        # post-run assembly); the latency sketch sees each finish live.
+        queries = self.counter_total("workload.queries") or (
+            sk.count if sk is not None else 0
+        )
+        if queries:
+            parts.append(f"queries={queries:g}")
+        if sk is not None and sk.count:
+            parts.append(f"lat p50={sk.quantile(0.50):.3f}s "
+                         f"p99={sk.quantile(0.99):.3f}s")
+        parts.append(f"spans={len(self.spans)}")
+        dropped = (self.counter_total("obs.spans_dropped")
+                   + self.counter_total("obs.edges_dropped"))
+        if dropped:
+            parts.append(f"dropped={dropped:g}")
+        parts.append(f"shards={','.join(self.shards)}")
+        return "  ".join(parts)
+
+    # -- codec ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": SNAPSHOT_KIND,
+            "v": SNAPSHOT_VERSION,
+            "t": self.t,
+            "shards": list(self.shards),
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {k: dict(sorted(v.items()))
+                       for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                k: {
+                    "bounds": list(v["bounds"]),
+                    "high": v["high"],
+                    "total_seconds": v["total_seconds"],
+                    "weighted_sum": v["weighted_sum"],
+                    "buckets": dict(sorted(v["buckets"].items())),
+                }
+                for k, v in sorted(self.histograms.items())
+            },
+            "sketches": {k: v.to_dict()
+                         for k, v in sorted(self.sketches.items())},
+            "rings": {k: v.to_dict() for k, v in sorted(self.rings.items())},
+            "spans": self.spans.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical bytes: sorted keys, no whitespace, repr floats."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> Snapshot:
+        if d.get("kind") != SNAPSHOT_KIND:
+            raise ValueError(
+                f"not a {SNAPSHOT_KIND} document (kind={d.get('kind')!r})"
+            )
+        if d.get("v") != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {d.get('v')!r}")
+        return cls(
+            t=float(d["t"]),
+            shards=tuple(d["shards"]),
+            counters=dict(d["counters"]),
+            gauges={k: dict(v) for k, v in d["gauges"].items()},
+            histograms={
+                k: {
+                    "bounds": tuple(v["bounds"]),
+                    "high": v["high"],
+                    "total_seconds": v["total_seconds"],
+                    "weighted_sum": v["weighted_sum"],
+                    "buckets": dict(v["buckets"]),
+                }
+                for k, v in d["histograms"].items()
+            },
+            sketches={k: QuantileSketch.from_dict(v)
+                      for k, v in d["sketches"].items()},
+            rings={k: TimeSeriesRing.from_dict(v)
+                   for k, v in d["rings"].items()},
+            spans=ReservoirSample.from_dict(d["spans"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> Snapshot:
+        return cls.from_dict(json.loads(text))
+
+
+def _copy_hist(h: dict[str, Any]) -> dict[str, Any]:
+    out = dict(h)
+    out["buckets"] = dict(h["buckets"])
+    return out
+
+
+def merge_snapshots(snapshots: list[Snapshot]) -> Snapshot:
+    """Left-fold of :meth:`Snapshot.merge` (order-independent result)."""
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    out = snapshots[0]
+    for snap in snapshots[1:]:
+        out = out.merge(snap)
+    return out
+
+
+# ----------------------------------------------------------------------
+# collector
+# ----------------------------------------------------------------------
+class StreamingCollector:
+    """Per-run owner of the streaming state + registry→snapshot bridge.
+
+    Unbudgeted, it owns a plain :class:`SpanLog` and unlimited-precision
+    sketches/rings at default capacities (reports are unchanged vs the
+    full-history path, and drop counters stay zero).  With an
+    :class:`ObsBudget` it swaps in the bounded log variants and shrinks
+    every capacity to fit the byte budget.
+    """
+
+    def __init__(self, clock: Any = None, budget: ObsBudget | None = None,
+                 shard: str = "shard0",
+                 ring_resolution_s: float = DEFAULT_RING_RESOLUTION_S,
+                 alpha: float = DEFAULT_ALPHA) -> None:
+        self.clock = clock or (lambda: 0.0)
+        self.budget = budget
+        self.shard = shard
+        self.ring_resolution_s = ring_resolution_s
+        self.alpha = alpha
+        self.spans: SpanLog = (
+            BoundedSpanLog(budget.span_sample, budget.span_outliers)
+            if budget is not None else SpanLog()
+        )
+        self.sketches: dict[str, QuantileSketch] = {}
+        self.rings: dict[str, TimeSeriesRing] = {}
+        self.snapshots_emitted = 0
+        self._causal_logs: list[CausalLog] = []
+
+    # -- construction helpers -----------------------------------------
+    def causal_log(self, aliases: dict[str, str] | None = None) -> CausalLog:
+        """A (budget-appropriate) causal log, registered for drop counts."""
+        log: CausalLog = (
+            BoundedCausalLog(aliases, self.budget.edge_sample,
+                             self.budget.edge_outliers)
+            if self.budget is not None else CausalLog(aliases)
+        )
+        self._causal_logs.append(log)
+        return log
+
+    # -- ingest --------------------------------------------------------
+    def observe(self, name: str, value: float, t: float | None = None) -> None:
+        """Feed one sample into the metric's sketch and time ring."""
+        t = self.clock() if t is None else t
+        sk = self.sketches.get(name)
+        if sk is None:
+            bins = (self.budget.sketch_bins if self.budget is not None
+                    else DEFAULT_MAX_BINS)
+            sk = self.sketches[name] = QuantileSketch(self.alpha, bins)
+        sk.add(value)
+        ring = self.rings.get(name)
+        if ring is None:
+            buckets = (self.budget.ring_buckets if self.budget is not None
+                       else DEFAULT_RING_BUCKETS)
+            ring = self.rings[name] = TimeSeriesRing(
+                self.ring_resolution_s, buckets)
+        ring.observe(t, value)
+
+    # -- drop accounting -----------------------------------------------
+    @property
+    def spans_dropped(self) -> int:
+        return self.spans.dropped if isinstance(self.spans, BoundedSpanLog) else 0
+
+    @property
+    def edges_dropped(self) -> int:
+        return sum(log.dropped for log in self._causal_logs
+                   if isinstance(log, BoundedCausalLog))
+
+    # -- snapshot ------------------------------------------------------
+    def snapshot(self, registry: Any = None, t: float | None = None) -> Snapshot:
+        """Freeze the current state (plus a registry's instruments).
+
+        ``registry`` is duck-typed on ``MetricsRegistry.instruments()``;
+        each instrument is folded into the mergeable summary shape
+        (counters exactly, gauges as watermarks, histograms as bucket
+        seconds).  Increments ``obs.snapshots_emitted``.
+        """
+        self.snapshots_emitted += 1
+        t = self.clock() if t is None else t
+        counters: dict[str, float] = {}
+        gauges: dict[str, dict[str, float]] = {}
+        histograms: dict[str, dict[str, Any]] = {}
+        if registry is not None:
+            for inst in registry.instruments():
+                key = instrument_key(inst.name, inst.labels)
+                d = inst.as_dict()
+                if d["type"] == "counter":
+                    counters[key] = inst.value
+                elif d["type"] == "gauge":
+                    if inst.samples:
+                        gauges[key] = {
+                            "high": inst.high,
+                            "low": inst.low,
+                            "samples": inst.samples,
+                        }
+                else:
+                    buckets = {}
+                    for i, bound in enumerate(inst.bounds):
+                        if inst.bucket_seconds[i]:
+                            buckets[f"le_{bound:g}"] = inst.bucket_seconds[i]
+                    if inst.bucket_seconds[-1]:
+                        buckets["overflow"] = inst.bucket_seconds[-1]
+                    histograms[key] = {
+                        "bounds": tuple(inst.bounds),
+                        "high": inst.high,
+                        "total_seconds": inst.total_seconds,
+                        "weighted_sum": inst.weighted_sum,
+                        "buckets": buckets,
+                    }
+        counters["obs.snapshots_emitted"] = float(self.snapshots_emitted)
+        counters["obs.spans_dropped"] = float(self.spans_dropped)
+        counters["obs.edges_dropped"] = float(self.edges_dropped)
+
+        if self.budget is not None:
+            span_sample = self.budget.span_sample
+            span_outliers = self.budget.span_outliers
+        else:
+            span_sample = DEFAULT_SPAN_SAMPLE
+            span_outliers = DEFAULT_SPAN_OUTLIERS
+        spans = ReservoirSample(span_sample, span_outliers)
+        for i, s in enumerate(self.spans.spans):
+            ident = f"{self.shard}|{i:08d}|{s.track}|{s.name}"
+            spans.add(ident, s.duration, {
+                "track": s.track,
+                "name": s.name,
+                "t0": s.t0,
+                "t1": s.t1,
+                "args": {k: str(v) for k, v in sorted(s.args.items())},
+            })
+        if isinstance(self.spans, BoundedSpanLog):
+            spans.total = self.spans.total
+
+        return Snapshot(
+            t=t,
+            shards=(self.shard,),
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+            sketches={k: QuantileSketch.from_dict(v.to_dict())
+                      for k, v in self.sketches.items()},
+            rings={k: TimeSeriesRing.from_dict(v.to_dict())
+                   for k, v in self.rings.items()},
+            spans=spans,
+        )

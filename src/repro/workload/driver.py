@@ -20,7 +20,7 @@ while a query holds the node.
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -36,13 +36,16 @@ from ..faults import CrashSpec, FaultInjector
 from ..obs import (
     SCHEDULER_TRACK,
     MetricsRegistry,
+    ObsBudget,
     PhaseTimeline,
+    Snapshot,
     SpanLog,
+    StreamingCollector,
     harvest_network,
     harvest_nodes,
     harvest_simulator,
 )
-from ..sim import AllOf, Simulator, Tracer
+from ..sim import AllOf, Interrupt, Process, Simulator, Tracer
 from .generator import QuerySpec, generate_workload, query_run_config
 from .results import QueryStats, WorkloadResult
 
@@ -68,7 +71,7 @@ def _query_runner(
     spec: QuerySpec,
     cfg: WorkloadConfig,
     metrics: MetricsRegistry,
-    spans: SpanLog,
+    collector: StreamingCollector,
     tracer: Tracer,
     injector: FaultInjector | None,
     record: _QueryRecord,
@@ -81,7 +84,7 @@ def _query_runner(
     view = wc.views[qid]
     rcfg = query_run_config(cfg, spec)
     ctx = RunContext(
-        sim, rcfg, cluster=view, metrics=metrics, spans=spans,
+        sim, rcfg, cluster=view, metrics=metrics, spans=collector.spans,
         tracer=tracer, faults=injector, query=qid,
     )
 
@@ -123,6 +126,13 @@ def _query_runner(
     record.finished_s = sim.now
     record.ctx = ctx
     record.outcome = outcome
+    # Feed the streaming collector at finish time (not post-run) so a
+    # --live snapshot taken mid-workload already carries the latency
+    # sketch and per-query progress of everything finished so far.
+    collector.observe("workload.query_latency_s",
+                      sim.now - record.arrival_s, t=sim.now)
+    collector.observe("workload.queue_delay_s",
+                      record.admitted_s - record.arrival_s, t=sim.now)
     ctx.trace("query_finished", f"query{qid}",
               latency=sim.now - record.arrival_s)
 
@@ -138,26 +148,73 @@ def _crash_timer(
     pool.crash_node(spec.node)
 
 
+def _live_emitter(
+    sim: Simulator,
+    collector: StreamingCollector,
+    metrics: MetricsRegistry,
+    interval: float,
+    sink: Callable[[Snapshot], None] | None,
+) -> Generator[Any, Any, None]:
+    """Emit a mergeable snapshot every ``interval`` simulated seconds.
+
+    Runs until the supervisor interrupts it (after the last query
+    finishes) — a perpetual timeout loop would otherwise keep the
+    simulation alive forever.
+    """
+    try:
+        while True:
+            yield sim.timeout(interval)
+            snap = collector.snapshot(registry=metrics)
+            if sink is not None:
+                sink(snap)
+    except Interrupt:
+        return
+
+
 def _supervisor(
-    sim: Simulator, wc: WorkloadCluster, runners: list[Any]
+    sim: Simulator, wc: WorkloadCluster, runners: list[Any],
+    emitter: Process | None = None,
 ) -> Generator[Any, Any, None]:
     """Shut the pool down once every query runner has finished."""
     yield AllOf(sim, runners)
+    if emitter is not None and emitter.is_alive:
+        # The emitter's pending timeout is abandoned; it still drains from
+        # the queue, so a --live run's final clock reading may trail the
+        # last query by up to one interval (latencies are unaffected).
+        emitter.interrupt("workload-complete")
     yield from wc.network.send(wc.pool_node, wc.pool_node, Shutdown())
 
 
-def run_workload(cfg: WorkloadConfig, validate: bool = True) -> WorkloadResult:
+def run_workload(
+    cfg: WorkloadConfig,
+    validate: bool = True,
+    on_snapshot: Callable[[Snapshot], None] | None = None,
+) -> WorkloadResult:
     """Execute a multi-query workload; every query oracle-validated.
 
     ``validate`` is per query and works exactly like ``run_join``'s: the
     distributed match count must equal the sequential oracle on that
     query's relations.  Shared-system invariants (byte conservation on the
     one network) are always asserted.
+
+    ``on_snapshot`` receives each periodic :class:`~repro.obs.Snapshot`
+    when ``cfg.obs.live_interval_s`` is set (the ``--live`` path); the
+    final snapshot is returned on ``WorkloadResult.snapshot`` either way.
     """
     specs = generate_workload(cfg)
     sim = Simulator()
     metrics = MetricsRegistry(clock=lambda: sim.now)
-    spans = SpanLog()
+    obs_budget = (
+        ObsBudget.from_bytes(cfg.obs.budget_bytes)
+        if cfg.obs.budget_bytes is not None else None
+    )
+    collector = StreamingCollector(
+        clock=lambda: sim.now,
+        budget=obs_budget,
+        shard=cfg.obs.shard,
+        ring_resolution_s=cfg.obs.ring_resolution_s,
+    )
+    spans: SpanLog = collector.spans
     tracer = Tracer(enabled=cfg.trace, maxlen=None)
 
     def trace(category: str, actor: str, **detail: Any) -> None:
@@ -199,13 +256,21 @@ def run_workload(cfg: WorkloadConfig, validate: bool = True) -> WorkloadResult:
     records = [_QueryRecord() for _ in specs]
     runners = [
         sim.spawn(
-            _query_runner(sim, wc, pool, spec, cfg, metrics, spans, tracer,
-                          injector, record),
+            _query_runner(sim, wc, pool, spec, cfg, metrics, collector,
+                          tracer, injector, record),
             name=f"query{spec.query_id}",
         )
         for spec, record in zip(specs, records)
     ]
-    sim.spawn(_supervisor(sim, wc, runners), name="workload-supervisor")
+    emitter: Process | None = None
+    if cfg.obs.live_interval_s is not None:
+        emitter = sim.spawn(
+            _live_emitter(sim, collector, metrics,
+                          cfg.obs.live_interval_s, on_snapshot),
+            name="obs-live-emitter",
+        )
+    sim.spawn(_supervisor(sim, wc, runners, emitter),
+              name="workload-supervisor")
 
     sim.run()
 
@@ -261,6 +326,16 @@ def run_workload(cfg: WorkloadConfig, validate: bool = True) -> WorkloadResult:
         else 0.0
     )
 
+    # Budgeted runs publish their shed counts into the registry (so the
+    # report shows them); unbudgeted runs publish nothing — the registry
+    # snapshot is byte-for-byte what it was before streaming existed.
+    if obs_budget is not None:
+        metrics.inc("obs.spans_dropped", collector.spans_dropped)
+        metrics.inc("obs.edges_dropped", collector.edges_dropped)
+    if cfg.obs.live_interval_s is not None:
+        metrics.inc("obs.snapshots_emitted", collector.snapshots_emitted)
+    final_snapshot = collector.snapshot(registry=metrics)
+
     return WorkloadResult(
         config=cfg,
         queries=query_stats,
@@ -271,4 +346,7 @@ def run_workload(cfg: WorkloadConfig, validate: bool = True) -> WorkloadResult:
         metrics=metrics.snapshot(),
         timeline=PhaseTimeline(spans.spans),
         tracer=tracer,
+        snapshot=final_snapshot,
+        spans_dropped=collector.spans_dropped,
+        edges_dropped=collector.edges_dropped,
     )

@@ -5,10 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
 from ..config import WorkloadConfig
 from ..core.results import JoinRunResult
+from ..obs.streaming import QuantileSketch, Snapshot
 
 __all__ = ["QueryStats", "WorkloadResult"]
 
@@ -75,10 +74,19 @@ class QueryStats:
 
 
 def _percentiles(values: list[float], qs: tuple[int, ...]) -> dict[str, float]:
+    """Sketch-backed percentiles: ``{"p50": ...}`` within the sketch's
+    documented 1% relative-error bound of the exact order statistics.
+
+    An empty input yields an empty dict — never ``NaN`` placeholders
+    (``np.percentile`` on a zero-length array raises; zero-filled keys
+    masquerade as real measurements).
+    """
     if not values:
-        return {f"p{q}": 0.0 for q in qs}
-    arr = np.asarray(values, dtype=np.float64)
-    return {f"p{q}": float(np.percentile(arr, q)) for q in qs}
+        return {}
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.add(v)
+    return sketch.percentiles(qs)
 
 
 @dataclass
@@ -98,6 +106,13 @@ class WorkloadResult:
     metrics: list[dict] = field(default_factory=list)
     timeline: Any | None = None
     tracer: Any | None = None
+    #: final mergeable observability snapshot (sketches, rings, sampled
+    #: spans); the unit the future fleet layer ships between shards
+    snapshot: Snapshot | None = None
+    #: records shed by the bounded collectors (zero unless a --obs-budget
+    #: was armed; nothing is ever silently truncated)
+    spans_dropped: int = 0
+    edges_dropped: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -128,8 +143,12 @@ class WorkloadResult:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe digest (per-query stats, percentiles, pool counters)."""
-        return {
+        """JSON-safe digest (per-query stats, percentiles, pool counters).
+
+        The ``obs`` section appears only when a byte budget was armed, so
+        unbudgeted reports are structurally unchanged.
+        """
+        out = {
             "n_queries": self.n_queries,
             "policy": self.config.policy.value,
             "makespan_s": self.makespan_s,
@@ -141,11 +160,20 @@ class WorkloadResult:
             "pool": dict(self.pool),
             "queries": [q.to_dict() for q in self.queries],
         }
+        if self.config.obs.budget_bytes is not None:
+            out["obs"] = {
+                "budget_bytes": self.config.obs.budget_bytes,
+                "spans_dropped": self.spans_dropped,
+                "edges_dropped": self.edges_dropped,
+            }
+        return out
 
     def summary(self) -> str:
         """Multi-line human-readable digest."""
         lat = self.latency_percentiles()
         qd = self.queue_delay_percentiles()
+        lat = {k: lat.get(k, 0.0) for k in ("p50", "p90", "p99")}
+        qd = {k: qd.get(k, 0.0) for k in ("p50", "p90", "p99")}
         lines = [
             f"workload: {self.n_queries} queries, "
             f"policy={self.config.policy.value}, "
@@ -162,6 +190,12 @@ class WorkloadResult:
             f"crashed={self.pool.get('crashed_nodes', [])}, "
             f"leaked={self.pool.get('leaked_nodes', [])}",
         ]
+        if self.spans_dropped or self.edges_dropped:
+            lines.append(
+                f"obs: budget shed {self.spans_dropped} spans, "
+                f"{self.edges_dropped} causal edges (sampled summaries "
+                f"remain exact for counters, ~1% for quantiles)"
+            )
         for q in self.queries:
             ok = "ok" if q.matches == (
                 q.reference_matches if q.reference_matches is not None

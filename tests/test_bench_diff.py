@@ -221,3 +221,61 @@ def test_cli_json_format(tmp_path, capsys):
 def test_cli_self_diff_of_checked_in_baseline():
     # The exact invocation CI runs as its gate sanity check.
     assert main(["bench-diff", "BENCH_2.json", "BENCH_2.json"]) == 0
+
+
+# ----------------------------------------------------------------------
+# snapshot diffing (repro workload --snapshot-out streams)
+# ----------------------------------------------------------------------
+def make_snapshot(counters, latencies=()):
+    from repro.obs import QuantileSketch, Snapshot
+
+    sk = QuantileSketch()
+    for v in latencies:
+        sk.add(v)
+    return Snapshot(
+        t=1.0, shards=("shard0",), counters=dict(counters),
+        sketches={"workload.query_latency_s": sk} if latencies else {},
+    )
+
+
+def test_snapshot_self_diff_passes():
+    from repro.bench import diff_snapshots
+
+    snap = make_snapshot({"workload.queries": 4}, latencies=[1.0, 2.0])
+    diff = diff_snapshots(snap, snap, threshold_pct=1.0)
+    assert diff.ok
+    assert {d.metric for d in diff.deltas} == {"p50", "p90", "p99"}
+
+
+def test_snapshot_counter_change_is_a_hard_mismatch():
+    from repro.bench import diff_snapshots
+
+    old = make_snapshot({"workload.queries": 4})
+    new = make_snapshot({"workload.queries": 5, "extra": 1})
+    diff = diff_snapshots(old, new)
+    assert not diff.ok
+    text = diff.to_text()
+    assert "counter 'workload.queries' differs" in text
+    assert "counter 'extra' missing from OLD" in text
+
+
+def test_snapshot_quantile_regression_respects_threshold():
+    from repro.bench import diff_snapshots
+
+    old = make_snapshot({"n": 1}, latencies=[1.0] * 10)
+    new = make_snapshot({"n": 1}, latencies=[1.5] * 10)
+    assert not diff_snapshots(old, new, threshold_pct=10.0).ok
+    assert diff_snapshots(old, new, threshold_pct=60.0).ok
+
+
+def test_load_document_takes_last_jsonl_line(tmp_path):
+    from repro.bench import is_snapshot_doc, load_document
+
+    p = tmp_path / "stream.jsonl"
+    p.write_text(
+        '{"kind": "repro-snapshot", "t": 1}\n'
+        '{"kind": "repro-snapshot", "t": 2}\n'
+    )
+    doc = load_document(p)
+    assert is_snapshot_doc(doc)
+    assert doc["t"] == 2

@@ -185,3 +185,90 @@ def test_explain_command_json_out(tmp_path, capsys):
     assert doc["critical_path_total_s"] == pytest.approx(
         doc["makespan_s"], rel=0.01
     )
+
+
+# ----------------------------------------------------------------------
+# overwrite guards (--force)
+# ----------------------------------------------------------------------
+def test_metrics_out_refuses_overwrite_without_force(tmp_path, capsys):
+    out = tmp_path / "metrics.txt"
+    out.write_text("precious\n")
+    rc = main(small_args(["metrics", "--out", str(out)]))
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "refusing to overwrite" in err and "--force" in err
+    assert out.read_text() == "precious\n"  # untouched
+    rc = main(small_args(["metrics", "--out", str(out), "--force"]))
+    assert rc == 0
+    assert out.read_text() != "precious\n"
+
+
+def test_trace_out_refuses_overwrite_without_force(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    out.write_text("{}")
+    rc = main(small_args(["trace", "--out", str(out)]))
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "refusing to overwrite" in err
+    assert out.read_text() == "{}"
+
+
+# ----------------------------------------------------------------------
+# live telemetry: --live / --snapshot-out / tail / snapshot bench-diff
+# ----------------------------------------------------------------------
+def wl_args(extra):
+    """A tiny three-query workload (sizes in Mtuples via --mix)."""
+    return extra + [
+        "--queries", "3", "--mix", "hybrid:1:0.004:0.004:2",
+        "--arrival-times", "0,0.05,0.1", "--scale", "1.0",
+        "--pool", "8", "--sources", "2", "--seed", "7",
+    ]
+
+
+def test_workload_live_snapshot_stream(tmp_path, capsys):
+    import json as _json
+
+    snap_path = tmp_path / "run.snap.jsonl"
+    rc = main(wl_args(["workload", "--live", "--live-interval", "0.05",
+                       "--obs-budget", "4096",
+                       "--snapshot-out", str(snap_path)]))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "live: t=" in out
+    lines = [ln for ln in snap_path.read_text().splitlines() if ln.strip()]
+    assert len(lines) >= 2  # periodic snapshot(s) + the final one
+    for line in lines:
+        assert _json.loads(line)["kind"] == "repro-snapshot"
+
+    rc = main(["tail", str(snap_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "final snapshot" in out
+    assert "workload.query_latency_s" in out
+
+    # a snapshot stream self-diffs clean through bench-diff
+    rc = main(["bench-diff", str(snap_path), str(snap_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "PASS" in out
+
+
+def test_bench_diff_rejects_mixed_document_kinds(tmp_path, capsys):
+    snap = tmp_path / "snap.json"
+    snap.write_text('{"kind": "repro-snapshot", "v": 1, "t": 0, '
+                    '"shards": ["s"], "counters": {}, "gauges": {}, '
+                    '"histograms": {}, "sketches": {}, "rings": {}, '
+                    '"spans": {"sample": 1, "outliers": 0, "total": 0, '
+                    '"items": []}}\n')
+    rc = main(["bench-diff", str(snap), "BENCH_2.json"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "cannot compare" in err
+
+
+def test_tail_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    rc = main(["tail", str(bad)])
+    assert rc == 2
+    assert "bad.jsonl:1" in capsys.readouterr().err

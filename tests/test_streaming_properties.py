@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the streaming sketch laws.
+
+The sketch is the one place the observability layer trades exactness for
+memory, so its contracts get adversarial coverage: merge associativity /
+commutativity, insert-order invariance, and the documented relative
+error bound against ``np.percentile`` on hostile distributions (zipf
+tails, constants, bimodal gaps).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import QuantileSketch, ReservoirSample
+
+finite_values = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+def fill(values):
+    sk = QuantileSketch()
+    for v in values:
+        sk.add(v)
+    return sk
+
+
+def exact_quantile(values, q):
+    return float(np.percentile(values, q * 100, method="lower"))
+
+
+@given(a=st.lists(finite_values, max_size=60),
+       b=st.lists(finite_values, max_size=60),
+       c=st.lists(finite_values, max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_sketch_merge_is_associative_and_commutative(a, b, c):
+    sa, sb, sc = fill(a), fill(b), fill(c)
+    left = sa.merge(sb).merge(sc)
+    right = sa.merge(sb.merge(sc))
+    flipped = sc.merge(sb).merge(sa)
+    assert left == right == flipped
+    assert left.count == len(a) + len(b) + len(c)
+
+
+@given(values=st.lists(finite_values, min_size=1, max_size=80),
+       seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=150, deadline=None)
+def test_sketch_is_insert_order_invariant(values, seed):
+    shuffled = list(values)
+    np.random.default_rng(seed).shuffle(shuffled)
+    assert fill(values) == fill(shuffled)
+
+
+@given(values=st.lists(finite_values, min_size=1, max_size=100),
+       q=st.sampled_from([0.0, 0.1, 0.5, 0.9, 0.99, 1.0]))
+@settings(max_examples=200, deadline=None)
+def test_sketch_quantile_within_relative_error_bound(values, q):
+    sk = fill(values)
+    exact = exact_quantile(values, q)
+    assert abs(sk.quantile(q) - exact) <= sk.alpha * abs(exact) + 1e-12
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       n=st.integers(min_value=10, max_value=2000))
+@settings(max_examples=25, deadline=None)
+def test_sketch_bound_holds_on_zipf_tails(seed, n):
+    values = np.random.default_rng(seed).zipf(1.3, size=n).astype(float)
+    sk = fill(values)
+    for q in (0.5, 0.9, 0.99, 1.0):
+        exact = exact_quantile(values, q)
+        assert abs(sk.quantile(q) - exact) <= sk.alpha * exact
+
+
+@given(value=finite_values, n=st.integers(min_value=1, max_value=500))
+@settings(max_examples=100, deadline=None)
+def test_sketch_on_constant_data_returns_the_constant(value, n):
+    sk = fill([value] * n)
+    for q in (0.0, 0.5, 1.0):
+        assert abs(sk.quantile(q) - value) <= sk.alpha * abs(value)
+
+
+@given(low=st.floats(min_value=0.001, max_value=1.0),
+       high=st.floats(min_value=1e6, max_value=1e9),
+       n_low=st.integers(min_value=1, max_value=50),
+       n_high=st.integers(min_value=1, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_sketch_separates_bimodal_clusters(low, high, n_low, n_high):
+    values = [low] * n_low + [high] * n_high
+    sk = fill(values)
+    # p0 must land in the low cluster, p100 in the high one — a sketch
+    # that smeared the gap would report something in between.
+    assert abs(sk.quantile(0.0) - low) <= sk.alpha * low
+    assert abs(sk.quantile(1.0) - high) <= sk.alpha * high
+
+
+@given(items=st.lists(
+    st.tuples(st.text(min_size=1, max_size=8),
+              st.floats(min_value=0, max_value=1e6, allow_nan=False)),
+    max_size=80,
+), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=150, deadline=None)
+def test_reservoir_merge_matches_single_feed(items, seed):
+    # idents must be unique: the reservoir keys by ident
+    unique = {f"{i}:{k}": w for i, (k, w) in enumerate(items)}
+    single = ReservoirSample(sample=8, outliers=2)
+    left = ReservoirSample(sample=8, outliers=2)
+    right = ReservoirSample(sample=8, outliers=2)
+    rng = np.random.default_rng(seed)
+    for ident, w in unique.items():
+        single.add(ident, w, None)
+        (left if rng.integers(2) else right).add(ident, w, None)
+    assert left.merge(right) == single == right.merge(left)
