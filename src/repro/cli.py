@@ -1,10 +1,13 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Ten commands:
+Eleven commands:
 
 * ``run``     — one simulated join, printing the phase/traffic summary.
 * ``workload`` — many concurrent joins over one shared node pool, with
   admission control and per-query latency/queueing percentiles.
+* ``fleet``   — the workload sharded across OS worker processes by
+  deterministic query cohorts, merged back into one fleet-wide result
+  (shard-count invariant; see ``docs/FLEET.md``).
 * ``sweep``   — a grid of runs (algorithms x initial nodes), as a table.
 * ``figures`` — regenerate the paper's figures (or a subset) and print /
   save the reproduction reports.
@@ -30,6 +33,7 @@ Examples::
     python -m repro workload --mix hybrid:2:2:2:2 --mix ooc:1:4:4:2 --format json
     python -m repro workload --queries 8 --live --obs-budget 65536 \\
         --snapshot-out run.snap.jsonl
+    python -m repro fleet --queries 200 --shards 4 --arrival-profile bursty
     python -m repro tail run.snap.jsonl
     python -m repro sweep --initial-nodes 1,2,4,8,16
     python -m repro figures --only fig02 fig10 --out reports.md
@@ -54,6 +58,7 @@ from .config import (
     Algorithm,
     ClusterSpec,
     Distribution,
+    FleetConfig,
     MTUPLES,
     ObsConfig,
     PoolPolicy,
@@ -313,6 +318,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
         print(f"unknown figures: {unknown}; choose from "
               f"{sorted(available)}", file=sys.stderr)
         return 2
+    import os
+
+    csv_paths = (
+        [os.path.join(args.csv_dir, f"{name}.csv") for name in wanted]
+        if args.csv_dir else []
+    )
+    for path in (args.out, args.json, *csv_paths):
+        if _refuse_overwrite(path, args.force, "figures"):
+            return 2
     reports = []
     for name in wanted:
         report = available[name]()
@@ -324,8 +338,6 @@ def cmd_figures(args: argparse.Namespace) -> int:
             fh.write("\n".join(r.to_markdown() for r in reports))
         print(f"wrote {args.out}")
     if args.csv_dir:
-        import os
-
         os.makedirs(args.csv_dir, exist_ok=True)
         for name, report in zip(wanted, reports):
             path = os.path.join(args.csv_dir, f"{name}.csv")
@@ -415,6 +427,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     from .obs import explain
 
+    if _refuse_overwrite(args.out, args.force, "explain"):
+        return 2
     algorithm = Algorithm(args.algorithm)
     initial = int(args.initial_nodes.split(",")[0])
     cfg = _config(args, algorithm, initial)
@@ -465,54 +479,75 @@ def _parse_mix_entry(text: str) -> QueryMixEntry:
     )
 
 
+def _workload_config(
+    args: argparse.Namespace, plan: FaultPlan | None
+) -> WorkloadConfig:
+    """Fold the shared workload CLI flags into a :class:`WorkloadConfig`
+    (raises ValueError exactly like the dataclass validators)."""
+    live = args.live or args.live_interval is not None
+    mix = tuple(_parse_mix_entry(m) for m in args.mix) if args.mix else (
+        QueryMixEntry(initial_nodes=2),
+    )
+    obs = ObsConfig(
+        budget_bytes=args.obs_budget,
+        live_interval_s=(
+            (args.live_interval if args.live_interval is not None
+             else 25.0 * args.scale)
+            if live else None
+        ),
+    )
+    return WorkloadConfig(
+        n_queries=args.queries,
+        arrival_rate_qps=args.arrival_rate,
+        arrival_times=_parse_arrival_times(args.arrival_times),
+        seed=args.seed,
+        mix=mix,
+        policy=PoolPolicy(args.policy),
+        fair_share_cap=args.fair_share_cap,
+        grant_timeout_s=args.grant_timeout,
+        cluster=ClusterSpec(
+            n_sources=args.sources,
+            n_potential_nodes=args.pool,
+            hash_memory_bytes=int(args.node_memory_mb * 1024 * 1024),
+            topology=Topology(args.topology),
+        ),
+        scale=args.scale,
+        trace=args.trace,
+        faults=plan,
+        lockdep=args.lockdep,
+        obs=obs,
+    )
+
+
+def _check_membership(plan: FaultPlan | None, command: str) -> bool:
+    """True (with a message) when the single-query-only control-plane
+    fault layer was requested from a multi-query command."""
+    if plan is not None and plan.membership_active:
+        print(f"{command}: the control-plane fault-tolerance layer "
+              "(--membership / --heartbeat-interval / --kill-scheduler-at) "
+              "is single-query only; see docs/FAULTS.md",
+              file=sys.stderr)
+        return True
+    return False
+
+
 def cmd_workload(args: argparse.Namespace) -> int:
     from .obs import Snapshot
     from .workload import run_workload
 
     plan = _faults(args)
-    if plan is not None and plan.membership_active:
-        print("workload: the control-plane fault-tolerance layer "
-              "(--membership / --heartbeat-interval / --kill-scheduler-at) "
-              "is single-query only; see docs/FAULTS.md",
-              file=sys.stderr)
+    if _check_membership(plan, "workload"):
         return 2
     live = args.live or args.live_interval is not None
     try:
-        mix = tuple(_parse_mix_entry(m) for m in args.mix) if args.mix else (
-            QueryMixEntry(initial_nodes=2),
-        )
-        obs = ObsConfig(
-            budget_bytes=args.obs_budget,
-            live_interval_s=(
-                (args.live_interval if args.live_interval is not None
-                 else 25.0 * args.scale)
-                if live else None
-            ),
-        )
-        cfg = WorkloadConfig(
-            n_queries=args.queries,
-            arrival_rate_qps=args.arrival_rate,
-            arrival_times=_parse_arrival_times(args.arrival_times),
-            seed=args.seed,
-            mix=mix,
-            policy=PoolPolicy(args.policy),
-            fair_share_cap=args.fair_share_cap,
-            grant_timeout_s=args.grant_timeout,
-            cluster=ClusterSpec(
-                n_sources=args.sources,
-                n_potential_nodes=args.pool,
-                hash_memory_bytes=int(args.node_memory_mb * 1024 * 1024),
-                topology=Topology(args.topology),
-            ),
-            scale=args.scale,
-            trace=args.trace,
-            faults=plan,
-            lockdep=args.lockdep,
-            obs=obs,
-        )
+        cfg = _workload_config(args, plan)
     except ValueError as exc:
         print(f"workload: {exc}", file=sys.stderr)
         return 2
+    for path in (args.out, args.metrics_out, args.baseline,
+                 args.snapshot_out):
+        if _refuse_overwrite(path, args.force, "workload"):
+            return 2
 
     # Live telemetry: one progress line per periodic snapshot, optionally
     # streamed to a JSONL file (`repro tail` renders it; the final
@@ -579,6 +614,102 @@ def cmd_workload(args: argparse.Namespace) -> int:
         print("\ntrace:")
         print(res.tracer.format())
     return 0 if res.all_valid else 1
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .obs import Snapshot, metrics_to_jsonl
+    from .workload import profile_arrivals, run_fleet
+
+    plan = _faults(args)
+    if _check_membership(plan, "fleet"):
+        return 2
+    live = args.live or args.live_interval is not None
+    try:
+        wl = _workload_config(args, plan)
+        if args.arrival_profile != "poisson":
+            wl = replace(
+                wl, arrival_times=profile_arrivals(args.arrival_profile, wl)
+            )
+        cfg = FleetConfig(
+            workload=wl,
+            n_cohorts=args.cohorts,
+            n_shards=args.shards,
+            worker_timeout_s=args.worker_timeout,
+        )
+    except ValueError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    for path in (args.out, args.metrics_out, args.baseline,
+                 args.snapshot_out):
+        if _refuse_overwrite(path, args.force, "fleet"):
+            return 2
+
+    # Live telemetry mirrors `repro workload`, except each line carries the
+    # *merged* fleet-wide snapshot (latest per cohort, folded with the
+    # snapshot merge laws) — tailing the JSONL mid-run shows global
+    # progress across all worker processes; the final merged snapshot is
+    # always appended last.
+    snap_fh = None
+    if args.snapshot_out:
+        snap_fh = open(args.snapshot_out, "w", encoding="utf-8")
+
+    def on_snapshot(snap: Snapshot) -> None:
+        if live:
+            print(f"live: {snap.describe()}")
+        if snap_fh is not None:
+            snap_fh.write(snap.to_json() + "\n")
+            snap_fh.flush()
+
+    try:
+        res = run_fleet(cfg, validate=not args.no_validate,
+                        on_snapshot=on_snapshot)
+        if res.snapshot is not None:
+            on_snapshot(res.snapshot)
+    finally:
+        if snap_fh is not None:
+            snap_fh.close()
+    if args.snapshot_out:
+        print(f"wrote {args.snapshot_out} (merged snapshot stream)")
+    for failure in res.failures:
+        print(f"fleet: shard {failure.shard} failed ({failure.kind}, "
+              f"cohorts {list(failure.cohorts)}): {failure.detail}",
+              file=sys.stderr)
+    if args.format == "json":
+        payload = json.dumps(res.to_dict(), indent=1) + "\n"
+    else:
+        payload = res.summary() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"wrote {args.out} ({args.format})")
+    else:
+        print(payload, end="")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            for line in metrics_to_jsonl(res.metrics):
+                fh.write(line + "\n")
+        print(f"wrote {args.metrics_out} ({len(res.metrics)} instruments)")
+    if args.baseline:
+        # Same fixed bench-diff keys as the workload baseline; the series
+        # name carries the arrival profile so one file can hold curves for
+        # several profiles side by side.
+        base = {
+            "benchmark": "fleet",
+            "scale": wl.scale,
+            "series": {
+                f"{args.arrival_profile}-{wl.policy.value}": {
+                    str(wl.n_queries): {
+                        "total_s": res.makespan_s,
+                        "build_s": res.latency_percentiles().get("p99", 0.0),
+                    }
+                }
+            },
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(base, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.baseline} (fleet baseline)")
+    return res.exit_code
 
 
 def cmd_bench_diff(args: argparse.Namespace) -> int:
@@ -770,77 +901,110 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[a.value for a in Algorithm])
     p_run.set_defaults(func=cmd_run)
 
+    def _add_workload_cli(p: argparse.ArgumentParser) -> None:
+        # Flags shared verbatim by `workload` (in-process) and `fleet`
+        # (OS-process sharded) — both fold into one WorkloadConfig.
+        p.add_argument("--queries", type=int, default=4,
+                       help="number of concurrent queries (default 4)")
+        p.add_argument("--arrival-rate", type=float, default=0.5,
+                       metavar="QPS",
+                       help="Poisson arrival rate in queries per simulated "
+                            "second (default 0.5)")
+        p.add_argument("--arrival-times", metavar="T0,T1,...",
+                       help="explicit arrival trace (simulated seconds, one "
+                            "per query; overrides --arrival-rate)")
+        p.add_argument("--mix", action="append", default=[],
+                       metavar="ALG[:W[:R_M[:S_M[:K[:SIGMA]]]]]",
+                       help="weighted query class: algorithm, weight, "
+                            "relation sizes in Mtuples, initial nodes, "
+                            "optional Gaussian sigma; repeatable (default "
+                            "one 2Mx2M hybrid class on 2 nodes)")
+        p.add_argument("--policy", default="fifo",
+                       choices=[p.value for p in PoolPolicy],
+                       help="pool arbitration policy (default fifo)")
+        p.add_argument("--fair-share-cap", type=int, default=4, metavar="N",
+                       help="max pool nodes one query may hold beyond its "
+                            "admission grant (fair policy only; default 4)")
+        p.add_argument("--grant-timeout", type=float, default=None,
+                       metavar="S",
+                       help="deny a parked recruit after S simulated "
+                            "seconds (default: scale-derived)")
+        p.add_argument("--pool", type=int, default=24,
+                       help="shared join nodes in the pool (default 24)")
+        p.add_argument("--sources", type=int, default=2,
+                       help="data-source nodes per query (default 2)")
+        p.add_argument("--node-memory-mb", type=float, default=64.0,
+                       help="hash-table budget per node in MB (default 64)")
+        p.add_argument("--topology", default="switched",
+                       choices=[t.value for t in Topology])
+        p.add_argument("--scale", type=float, default=WorkloadSpec().scale,
+                       help="down-scaling factor (default 1/50)")
+        p.add_argument("--seed", type=int, default=WorkloadConfig().seed)
+        _add_fault_args(p)
+        p.add_argument("--no-validate", action="store_true",
+                       help="skip the per-query sequential-oracle check")
+        p.add_argument("--trace", action="store_true",
+                       help="collect and print the protocol trace")
+        p.add_argument("--format", default="text", choices=["text", "json"])
+        p.add_argument("--out", help="write here instead of stdout")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="also dump the shared metrics registry as JSONL")
+        p.add_argument("--baseline", metavar="PATH",
+                       help="write a bench-diff-compatible baseline "
+                            "(total_s=makespan, build_s=p99 latency)")
+        p.add_argument("--live", action="store_true",
+                       help="print one progress line per periodic "
+                            "observability snapshot (simulated-clock "
+                            "cadence; see docs/OBSERVABILITY.md)")
+        p.add_argument("--live-interval", type=float, default=None,
+                       metavar="S",
+                       help="snapshot cadence in simulated seconds "
+                            "(implies --live; default 25*scale)")
+        p.add_argument("--obs-budget", type=int, default=None,
+                       metavar="BYTES",
+                       help="cap observability memory: bounded span/edge "
+                            "sampling, ring buffers and sketch bins sized "
+                            "to this many bytes (min 4096; shed records "
+                            "are counted, never silent)")
+        p.add_argument("--snapshot-out", metavar="PATH",
+                       help="append each snapshot as one JSON line "
+                            "(final snapshot last; render with "
+                            "'repro tail PATH', compare with "
+                            "'repro bench-diff')")
+        p.add_argument("--force", action="store_true",
+                       help="overwrite existing --out/--metrics-out/"
+                            "--baseline/--snapshot-out files")
+
     p_wl = sub.add_parser(
         "workload",
         help="run many concurrent joins against one shared node pool",
     )
-    p_wl.add_argument("--queries", type=int, default=4,
-                      help="number of concurrent queries (default 4)")
-    p_wl.add_argument("--arrival-rate", type=float, default=0.5,
-                      metavar="QPS",
-                      help="Poisson arrival rate in queries per simulated "
-                           "second (default 0.5)")
-    p_wl.add_argument("--arrival-times", metavar="T0,T1,...",
-                      help="explicit arrival trace (simulated seconds, one "
-                           "per query; overrides --arrival-rate)")
-    p_wl.add_argument("--mix", action="append", default=[],
-                      metavar="ALG[:W[:R_M[:S_M[:K[:SIGMA]]]]]",
-                      help="weighted query class: algorithm, weight, "
-                           "relation sizes in Mtuples, initial nodes, "
-                           "optional Gaussian sigma; repeatable (default "
-                           "one 2Mx2M hybrid class on 2 nodes)")
-    p_wl.add_argument("--policy", default="fifo",
-                      choices=[p.value for p in PoolPolicy],
-                      help="pool arbitration policy (default fifo)")
-    p_wl.add_argument("--fair-share-cap", type=int, default=4, metavar="N",
-                      help="max pool nodes one query may hold beyond its "
-                           "admission grant (fair policy only; default 4)")
-    p_wl.add_argument("--grant-timeout", type=float, default=None,
-                      metavar="S",
-                      help="deny a parked recruit after S simulated "
-                           "seconds (default: scale-derived)")
-    p_wl.add_argument("--pool", type=int, default=24,
-                      help="shared join nodes in the pool (default 24)")
-    p_wl.add_argument("--sources", type=int, default=2,
-                      help="data-source nodes per query (default 2)")
-    p_wl.add_argument("--node-memory-mb", type=float, default=64.0,
-                      help="hash-table budget per node in MB (default 64)")
-    p_wl.add_argument("--topology", default="switched",
-                      choices=[t.value for t in Topology])
-    p_wl.add_argument("--scale", type=float, default=WorkloadSpec().scale,
-                      help="down-scaling factor (default 1/50)")
-    p_wl.add_argument("--seed", type=int, default=WorkloadConfig().seed)
-    _add_fault_args(p_wl)
-    p_wl.add_argument("--no-validate", action="store_true",
-                      help="skip the per-query sequential-oracle check")
-    p_wl.add_argument("--trace", action="store_true",
-                      help="collect and print the protocol trace")
-    p_wl.add_argument("--format", default="text", choices=["text", "json"])
-    p_wl.add_argument("--out", help="write here instead of stdout")
-    p_wl.add_argument("--metrics-out", metavar="PATH",
-                      help="also dump the shared metrics registry as JSONL")
-    p_wl.add_argument("--baseline", metavar="PATH",
-                      help="write a bench-diff-compatible baseline "
-                           "(total_s=makespan, build_s=p99 latency)")
-    p_wl.add_argument("--live", action="store_true",
-                      help="print one progress line per periodic "
-                           "observability snapshot (simulated-clock "
-                           "cadence; see docs/OBSERVABILITY.md)")
-    p_wl.add_argument("--live-interval", type=float, default=None,
-                      metavar="S",
-                      help="snapshot cadence in simulated seconds "
-                           "(implies --live; default 25*scale)")
-    p_wl.add_argument("--obs-budget", type=int, default=None, metavar="BYTES",
-                      help="cap observability memory: bounded span/edge "
-                           "sampling, ring buffers and sketch bins sized "
-                           "to this many bytes (min 4096; shed records "
-                           "are counted, never silent)")
-    p_wl.add_argument("--snapshot-out", metavar="PATH",
-                      help="append each snapshot as one JSON line "
-                           "(final snapshot last; render with "
-                           "'repro tail PATH', compare with "
-                           "'repro bench-diff')")
+    _add_workload_cli(p_wl)
     p_wl.set_defaults(func=cmd_workload)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="shard one workload trace across OS worker processes and "
+             "merge the results (docs/FLEET.md)",
+    )
+    _add_workload_cli(p_fleet)
+    p_fleet.add_argument("--shards", type=int, default=2, metavar="N",
+                         help="worker processes to launch (default 2; "
+                              "results are shard-count invariant)")
+    p_fleet.add_argument("--cohorts", type=int, default=8, metavar="N",
+                         help="deterministic partition count — part of the "
+                              "model, not the parallelism (default 8)")
+    p_fleet.add_argument("--worker-timeout", type=float, default=600.0,
+                         metavar="S",
+                         help="wall-clock seconds of worker silence before "
+                              "the shard is killed and reported as failed "
+                              "(default 600)")
+    p_fleet.add_argument("--arrival-profile", default="poisson",
+                         choices=["poisson", "diurnal", "bursty"],
+                         help="named arrival trace: the config's Poisson "
+                              "process, a sinusoidal day/night rate, or "
+                              "on-off bursts (default poisson)")
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_tail = sub.add_parser(
         "tail",
@@ -890,6 +1054,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--format", default="text",
                            choices=["text", "json"])
     p_explain.add_argument("--out", help="write here instead of stdout")
+    p_explain.add_argument("--force", action="store_true",
+                           help="overwrite an existing --out file")
     p_explain.set_defaults(func=cmd_explain)
 
     p_bdiff = sub.add_parser(
@@ -923,6 +1089,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "figure reports")
     p_fig.add_argument("--scale", type=float, default=WorkloadSpec().scale)
     p_fig.add_argument("--no-validate", action="store_true")
+    p_fig.add_argument("--force", action="store_true",
+                       help="overwrite existing --out/--csv-dir/--json files")
     p_fig.set_defaults(func=cmd_figures)
 
     p_lint = sub.add_parser(

@@ -31,6 +31,7 @@ __all__ = [
     "PoolPolicy",
     "QueryMixEntry",
     "WorkloadConfig",
+    "FleetConfig",
     "MTUPLES",
     "DEFAULT_SCALE",
 ]
@@ -475,6 +476,42 @@ class WorkloadConfig:
         if self.grant_timeout_s is not None:
             return self.grant_timeout_s
         return 200.0 * self.drain_poll_interval * self.scale
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """An OS-process sharded fleet run (``repro.workload.fleet``).
+
+    The trace in ``workload`` is cut into ``n_cohorts`` independent
+    sub-workloads by a stable hash of the query id; ``n_shards`` worker
+    processes execute the cohorts round-robin.  Results are a pure
+    function of ``(workload, n_cohorts)`` — ``n_shards`` only chooses how
+    much real parallelism executes them, so any shard count reproduces
+    byte-identical merged results (the determinism contract of
+    docs/FLEET.md).  Contention is *within* a cohort: each cohort gets
+    its own simulated cluster and pool, which is the sharded-service
+    model, not one global pool.
+    """
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: deterministic partition count — part of the model, not a
+    #: parallelism knob; changing it redistributes contention
+    n_cohorts: int = 8
+    #: OS worker processes (parallelism only; never affects results)
+    n_shards: int = 2
+    #: wall-clock seconds a worker may stay silent before the parent
+    #: declares it hung and surfaces a ShardFailure
+    worker_timeout_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.n_cohorts < 1:
+            raise ValueError(f"n_cohorts must be >= 1, got {self.n_cohorts}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.worker_timeout_s <= 0:
+            raise ValueError(
+                f"worker_timeout_s must be > 0, got {self.worker_timeout_s}"
+            )
 
 
 @dataclass(frozen=True)

@@ -161,11 +161,24 @@ class DataSourceProcess:
         yield from self.node.compute_per_tuple(ctx.cost.cpu_route_tuple, values.size)
         positions = ctx.posmap(values)
         if probe:
-            parts = self.router.partition_probe(positions)
-            assigned = sum(int(idx.size) for idx in parts.values())
+            # One gather per replica *group*: a range's probe tuples are
+            # materialized once and the same array object is appended to
+            # every replica's buffer (ChunkBuffer owns appended arrays and
+            # never mutates them, so sharing is safe — the wire chunk is
+            # re-materialized per destination at flush time regardless).
+            gathered: dict[int, list[np.ndarray]] = {}
+            assigned = 0
+            for dests, idx in self.router.probe_groups(positions):
+                shared = values[idx]
+                assigned += int(idx.size) * len(dests)
+                for dest in dests:
+                    gathered.setdefault(dest, []).append(shared)
             self.dup_tuples += assigned - int(values.size)
-        else:
-            parts = self.router.partition_build(positions)
+            for dest in sorted(gathered):
+                for shared in gathered[dest]:
+                    buffers.append(dest, shared)
+            return
+        parts = self.router.partition_build(positions)
         for dest, idx in sorted(parts.items()):
             buffers.append(dest, values[idx])
 

@@ -52,6 +52,21 @@ class Router(ABC):
     def partition_probe(self, positions: np.ndarray) -> dict[int, np.ndarray]:
         """node_id -> indices (probe phase; may duplicate indices across nodes)."""
 
+    def probe_groups(
+        self, positions: np.ndarray
+    ) -> list[tuple[tuple[int, ...], np.ndarray]]:
+        """Probe routing grouped by replica chain: ``(dests, indices)`` pairs.
+
+        Every destination in ``dests`` receives the *same* index set, so a
+        caller can materialize ``values[indices]`` once per group and hand
+        the shared array to each replica instead of gathering one private
+        copy per destination (the probe-broadcast amplification of the
+        replication-based algorithm).  The default covers non-replicating
+        routers: each destination is its own singleton group.
+        """
+        return [((n,), idx)
+                for n, idx in sorted(self.partition_probe(positions).items())]
+
     @abstractmethod
     def owners(self) -> set[int]:
         """All node ids reachable through this router."""
@@ -125,6 +140,19 @@ class RangeRouter(Router):
                     out.setdefault(n, []).append(idx)
         return {n: np.concatenate(parts) if len(parts) > 1 else parts[0]
                 for n, parts in out.items()}
+
+    def probe_groups(
+        self, positions: np.ndarray
+    ) -> list[tuple[tuple[int, ...], np.ndarray]]:
+        """One ``(replica chain, indices)`` pair per range with probe tuples.
+
+        Chains longer than one are exactly the broadcast groups of
+        paper §4.2.2; sharing the gathered array across a chain removes
+        the per-replica duplicate materialization."""
+        return [(dests, idx)
+                for (rng, dests), idx
+                in zip(self.entries, self._range_indices(positions))
+                if idx.size]
 
     def owners(self) -> set[int]:
         return {n for _, dests in self.entries for n in dests}

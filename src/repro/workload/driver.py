@@ -189,6 +189,7 @@ def run_workload(
     cfg: WorkloadConfig,
     validate: bool = True,
     on_snapshot: Callable[[Snapshot], None] | None = None,
+    specs: list[QuerySpec] | None = None,
 ) -> WorkloadResult:
     """Execute a multi-query workload; every query oracle-validated.
 
@@ -200,8 +201,22 @@ def run_workload(
     ``on_snapshot`` receives each periodic :class:`~repro.obs.Snapshot`
     when ``cfg.obs.live_interval_s`` is set (the ``--live`` path); the
     final snapshot is returned on ``WorkloadResult.snapshot`` either way.
+
+    ``specs`` overrides the generated workload with explicit queries (the
+    fleet layer passes a cohort's renumbered specs so per-query seeds and
+    arrivals stay pinned to their *global* trace positions — see
+    docs/FLEET.md).  Ids must be exactly ``0..cfg.n_queries-1`` because
+    they index the cluster's per-query views.
     """
-    specs = generate_workload(cfg)
+    if specs is None:
+        specs = generate_workload(cfg)
+    else:
+        specs = list(specs)
+        if [s.query_id for s in specs] != list(range(cfg.n_queries)):
+            raise ValueError(
+                f"explicit specs must carry ids 0..{cfg.n_queries - 1} in "
+                f"order, got {[s.query_id for s in specs]}"
+            )
     sim = Simulator()
     metrics = MetricsRegistry(clock=lambda: sim.now)
     obs_budget = (

@@ -23,12 +23,15 @@ import numpy as np
 from ..config import QueryMixEntry, RunConfig, WorkloadConfig, WorkloadSpec
 
 __all__ = ["QuerySpec", "arrival_schedule", "generate_workload",
-           "query_run_config"]
+           "query_run_config", "diurnal_arrivals", "bursty_arrivals",
+           "profile_arrivals", "ARRIVAL_PROFILES"]
 
 #: SeedSequence spawn keys — one independent stream per random decision
 _ARRIVAL_KEY = 101
 _MIX_KEY = 102
 _QUERY_SEED_KEY = 103
+_DIURNAL_KEY = 104
+_BURSTY_KEY = 105
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,109 @@ def arrival_schedule(cfg: WorkloadConfig) -> tuple[float, ...]:
     )
     gaps = rng.exponential(1.0 / cfg.arrival_rate_qps, size=cfg.n_queries)
     return tuple(float(t) for t in np.cumsum(gaps))
+
+
+def diurnal_arrivals(
+    n_queries: int,
+    seed: int,
+    *,
+    period_s: float = 10.0,
+    base_qps: float = 0.5,
+    peak_qps: float = 4.0,
+) -> tuple[float, ...]:
+    """Sinusoidal day/night arrival trace (inhomogeneous Poisson process).
+
+    The instantaneous rate swings between ``base_qps`` (trough) and
+    ``peak_qps`` (peak) once per ``period_s`` simulated seconds, starting
+    at the trough.  Sampled by Lewis-Shedler thinning of a homogeneous
+    ``peak_qps`` process, so the trace is exactly Poisson at every
+    instant and fully determined by ``seed`` — the autoscaling study's
+    "traffic follows the sun" input (docs/WORKLOADS.md).
+    """
+    if n_queries < 1 or period_s <= 0 or not 0 < base_qps <= peak_qps:
+        raise ValueError(
+            f"need n_queries >= 1, period_s > 0, 0 < base_qps <= peak_qps; "
+            f"got {n_queries}, {period_s}, {base_qps}, {peak_qps}"
+        )
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(_DIURNAL_KEY,))
+    )
+    arrivals: list[float] = []
+    t = 0.0
+    while len(arrivals) < n_queries:
+        t += float(rng.exponential(1.0 / peak_qps))
+        phase = (1.0 - np.cos(2.0 * np.pi * t / period_s)) / 2.0
+        rate = base_qps + (peak_qps - base_qps) * phase
+        if rng.random() < rate / peak_qps:
+            arrivals.append(t)
+    return tuple(arrivals)
+
+
+def bursty_arrivals(
+    n_queries: int,
+    seed: int,
+    *,
+    burst_size: int = 8,
+    burst_rate_qps: float = 20.0,
+    idle_gap_s: float = 2.0,
+) -> tuple[float, ...]:
+    """Burst/idle arrival trace (on-off source).
+
+    Queries arrive in bursts of ``burst_size`` at ``burst_rate_qps``
+    (seeded exponential gaps), separated by exponential idle periods with
+    mean ``idle_gap_s`` — the thundering-herd input of the autoscaling
+    study: admission queues drain between bursts and saturate inside
+    them.  Fully determined by ``seed``.
+    """
+    if n_queries < 1 or burst_size < 1 or burst_rate_qps <= 0 or idle_gap_s <= 0:
+        raise ValueError(
+            f"need n_queries/burst_size >= 1 and positive rates; got "
+            f"{n_queries}, {burst_size}, {burst_rate_qps}, {idle_gap_s}"
+        )
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(_BURSTY_KEY,))
+    )
+    arrivals: list[float] = []
+    t = 0.0
+    while len(arrivals) < n_queries:
+        t += float(rng.exponential(idle_gap_s))
+        for _ in range(min(burst_size, n_queries - len(arrivals))):
+            t += float(rng.exponential(1.0 / burst_rate_qps))
+            arrivals.append(t)
+    return tuple(arrivals)
+
+
+#: named arrival profiles the CLI/benchmarks select by string
+ARRIVAL_PROFILES = ("poisson", "diurnal", "bursty")
+
+
+def profile_arrivals(
+    profile: str, cfg: WorkloadConfig
+) -> tuple[float, ...]:
+    """The arrival trace of one named profile for ``cfg``'s query count.
+
+    ``poisson`` defers to :func:`arrival_schedule` (the config's own
+    trace or rate); ``diurnal``/``bursty`` scale their default rates off
+    ``cfg.arrival_rate_qps`` so one ``--arrival-rate`` knob moves every
+    profile coherently.
+    """
+    if profile == "poisson":
+        return arrival_schedule(cfg)
+    if profile == "diurnal":
+        return diurnal_arrivals(
+            cfg.n_queries, cfg.seed,
+            base_qps=cfg.arrival_rate_qps,
+            peak_qps=8.0 * cfg.arrival_rate_qps,
+        )
+    if profile == "bursty":
+        return bursty_arrivals(
+            cfg.n_queries, cfg.seed,
+            burst_rate_qps=40.0 * cfg.arrival_rate_qps,
+            idle_gap_s=2.0 / cfg.arrival_rate_qps,
+        )
+    raise ValueError(
+        f"unknown arrival profile {profile!r} (one of {ARRIVAL_PROFILES})"
+    )
 
 
 def generate_workload(cfg: WorkloadConfig) -> list[QuerySpec]:

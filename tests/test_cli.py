@@ -213,6 +213,45 @@ def test_trace_out_refuses_overwrite_without_force(tmp_path, capsys):
     assert out.read_text() == "{}"
 
 
+def test_explain_out_refuses_overwrite_without_force(tmp_path, capsys):
+    out = tmp_path / "explain.json"
+    out.write_text("precious")
+    rc = main(small_args(["explain", "--out", str(out)]))
+    assert rc == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    assert out.read_text() == "precious"
+
+
+def test_figures_out_refuses_overwrite_without_force(tmp_path, capsys):
+    out = tmp_path / "reports.md"
+    out.write_text("precious")
+    rc = main(["figures", "--only", "fig02", "--out", str(out)])
+    assert rc == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    assert out.read_text() == "precious"
+
+
+def test_workload_outputs_refuse_overwrite_without_force(tmp_path, capsys):
+    # every workload writer flag goes through the same guard, before any
+    # simulation work happens
+    for flag in ("--out", "--metrics-out", "--baseline", "--snapshot-out"):
+        target = tmp_path / f"wl{flag}.json"
+        target.write_text("precious")
+        rc = main(["workload", "--queries", "1", flag, str(target)])
+        assert rc == 2, flag
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert target.read_text() == "precious"
+
+
+def test_fleet_outputs_refuse_overwrite_without_force(tmp_path, capsys):
+    target = tmp_path / "fleet.snap.jsonl"
+    target.write_text("precious")
+    rc = main(["fleet", "--queries", "1", "--snapshot-out", str(target)])
+    assert rc == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    assert target.read_text() == "precious"
+
+
 # ----------------------------------------------------------------------
 # live telemetry: --live / --snapshot-out / tail / snapshot bench-diff
 # ----------------------------------------------------------------------
@@ -251,6 +290,36 @@ def test_workload_live_snapshot_stream(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "PASS" in out
+
+
+def test_fleet_command_end_to_end(tmp_path, capsys):
+    import json as _json
+
+    snap_path = tmp_path / "fleet.snap.jsonl"
+    out_path = tmp_path / "fleet.json"
+    rc = main(wl_args(["fleet", "--shards", "2", "--cohorts", "2",
+                       "--format", "json", "--out", str(out_path),
+                       "--snapshot-out", str(snap_path)]))
+    printed = capsys.readouterr().out
+    assert rc == 0
+    assert "wrote" in printed
+    doc = _json.loads(out_path.read_text())
+    assert doc["n_queries"] == 3
+    assert doc["all_valid"] is True and doc["partial"] is False
+    assert doc["wall"]["n_shards"] == 2
+    assert [q["query"] for q in doc["queries"]] == [0, 1, 2]
+    lines = [ln for ln in snap_path.read_text().splitlines() if ln.strip()]
+    assert lines  # final merged snapshot is always appended
+    final = _json.loads(lines[-1])
+    assert final["kind"] == "repro-snapshot"
+    # the merged snapshot carries every cohort's shard tag
+    assert set(final["shards"]) == {"cohort0", "cohort1"}
+
+    # the stream renders through `repro tail` like a workload stream
+    rc = main(["tail", str(snap_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "final snapshot" in out
 
 
 def test_bench_diff_rejects_mixed_document_kinds(tmp_path, capsys):

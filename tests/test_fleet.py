@@ -1,0 +1,231 @@
+"""The OS-process sharded fleet layer (``repro.workload.fleet``).
+
+The headline contract is shard-count invariance: the merged result is a
+pure function of ``(workload, n_cohorts)``, so running the same trace on
+1, 2 or 7 worker processes must produce byte-identical merged snapshots,
+exactly equal counters, and identical per-query stats.  On top of that:
+the blake2b cohort partitioner's stability properties, structured
+crash handling (a worker hard-exits, survivors still merge, exit code
+flags the run as partial), and the seeded arrival generators behind the
+autoscaling study.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    ClusterSpec,
+    FleetConfig,
+    MTUPLES,
+    QueryMixEntry,
+    WorkloadConfig,
+)
+from repro.workload import (
+    bursty_arrivals,
+    cohort_of,
+    diurnal_arrivals,
+    partition_cohorts,
+    profile_arrivals,
+    run_fleet,
+)
+from repro.workload.fleet import (
+    EXIT_CLEAN,
+    EXIT_PARTIAL,
+    _CRASH_ENV,
+    _cohort_workload,
+)
+from repro.workload.generator import generate_workload
+
+#: ~4 MB of hash memory per node post-scale — contention-free queries,
+#: which keeps every spawn worker fast
+AMPLE_MEMORY = 200 * 1024 * 1024
+
+
+def fleet_config(n_queries=10, n_cohorts=4, n_shards=2, **kw):
+    wl_kw = dict(
+        n_queries=n_queries,
+        arrival_rate_qps=2.0,
+        seed=11,
+        mix=(QueryMixEntry(r_tuples=MTUPLES // 2, s_tuples=MTUPLES // 2,
+                           initial_nodes=2),),
+        scale=1.0 / 50.0,
+        cluster=ClusterSpec(n_sources=2, n_potential_nodes=6,
+                            hash_memory_bytes=AMPLE_MEMORY),
+    )
+    wl_kw.update(kw)
+    return FleetConfig(
+        workload=WorkloadConfig(**wl_kw),
+        n_cohorts=n_cohorts,
+        n_shards=n_shards,
+    )
+
+
+# ----------------------------------------------------------------------
+# cohort partitioner
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**40),
+       st.integers(min_value=1, max_value=64))
+def test_cohort_of_stable_and_in_range(qid, n):
+    c = cohort_of(qid, n)
+    assert 0 <= c < n
+    # stable: a pure function, never dependent on call order or process
+    assert cohort_of(qid, n) == c
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=1, max_value=9))
+@settings(max_examples=25, deadline=None)
+def test_partition_is_exact_cover(n_queries, n_cohorts):
+    cfg = fleet_config(n_queries=n_queries).workload
+    cfg = WorkloadConfig(n_queries=n_queries, seed=cfg.seed, mix=cfg.mix)
+    specs = generate_workload(cfg)
+    cohorts = partition_cohorts(specs, n_cohorts)
+    assert len(cohorts) == n_cohorts
+    seen = sorted(s.query_id for group in cohorts for s in group)
+    assert seen == list(range(n_queries))
+    for ci, group in enumerate(cohorts):
+        for s in group:
+            assert cohort_of(s.query_id, n_cohorts) == ci
+        # trace order is preserved within a cohort
+        assert [s.query_id for s in group] == sorted(
+            s.query_id for s in group)
+
+
+def test_cohort_workload_renumbers_but_keeps_seeds_and_arrivals():
+    cfg = fleet_config(n_queries=12, n_cohorts=3)
+    specs = generate_workload(cfg.workload)
+    cohorts = partition_cohorts(specs, 3)
+    for ci, group in enumerate(cohorts):
+        sub, local, global_ids = _cohort_workload(cfg.workload, ci, group)
+        assert [s.query_id for s in local] == list(range(len(group)))
+        assert global_ids == [s.query_id for s in group]
+        # seeds and arrivals ride along verbatim from the global draw
+        assert [s.seed for s in local] == [s.seed for s in group]
+        assert [s.arrival_s for s in local] == [s.arrival_s for s in group]
+        assert sub.n_queries == len(group)
+        assert sub.obs.shard == f"cohort{ci}"
+
+
+def test_cohort_of_rejects_bad_count():
+    with pytest.raises(ValueError):
+        cohort_of(3, 0)
+
+
+# ----------------------------------------------------------------------
+# shard-count invariance (the tentpole acceptance contract)
+# ----------------------------------------------------------------------
+def test_shard_count_invariance():
+    results = {}
+    for shards in (1, 2, 7):
+        res = run_fleet(fleet_config(n_queries=10, n_cohorts=4,
+                                     n_shards=shards))
+        assert res.exit_code == EXIT_CLEAN
+        assert res.all_valid and not res.partial
+        assert res.n_queries == 10
+        results[shards] = res
+
+    ref = results[1]
+    assert ref.snapshot is not None
+    exact = np.array(sorted(q["latency_s"] for q in ref.queries))
+    for shards, res in results.items():
+        # merged snapshot is byte-identical at any shard count
+        assert res.snapshot.to_json() == ref.snapshot.to_json()
+        # every counter agrees exactly (key-union merge law)
+        for name in ref.snapshot.counters:
+            assert res.counter_total(name) == ref.counter_total(name)
+        # per-query stats identical, ascending global id
+        assert res.queries == ref.queries
+        # the only divergence allowed is the wall-clock section
+        d_ref, d_res = ref.to_dict(), res.to_dict()
+        d_ref.pop("wall"), d_res.pop("wall")
+        assert json.dumps(d_res, sort_keys=True) == \
+            json.dumps(d_ref, sort_keys=True)
+        # sketch-backed global percentiles stay within the 1% relative
+        # error bound of the exact empirical quantiles; with few samples
+        # the rank itself is ambiguous, so bound against the bracket of
+        # neighbouring order statistics
+        pcts = res.latency_percentiles()
+        for q in (50, 90, 99):
+            lo = float(np.quantile(exact, q / 100.0, method="lower"))
+            hi = float(np.quantile(exact, q / 100.0, method="higher"))
+            assert lo / 1.011 <= pcts[f"p{q:g}"] <= hi * 1.011
+
+
+def test_fleet_metrics_and_wall_bookkeeping():
+    res = run_fleet(fleet_config(n_queries=6, n_cohorts=3, n_shards=2))
+    by_name = {}
+    for inst in res.metrics:
+        by_name.setdefault(inst["name"], []).append(inst)
+    assert by_name["fleet.shards_launched"][0]["value"] == 2
+    assert by_name["fleet.snapshots_merged"][0]["value"] >= 3
+    assert "fleet.shards_failed" not in by_name or \
+        by_name["fleet.shards_failed"][0]["value"] == 0
+    walls = [i for i in by_name.get("fleet.worker_wall_s", [])]
+    assert {i["labels"]["shard"] for i in walls} == {"0", "1"}
+    assert set(res.wall_s_by_shard) == {0, 1}
+    assert res.wall_s > 0
+
+
+# ----------------------------------------------------------------------
+# crash handling
+# ----------------------------------------------------------------------
+def test_worker_crash_becomes_structured_failure(monkeypatch):
+    monkeypatch.setenv(_CRASH_ENV, "1")
+    res = run_fleet(fleet_config(n_queries=10, n_cohorts=4, n_shards=2))
+    assert res.partial
+    assert res.exit_code == EXIT_PARTIAL
+    assert len(res.failures) == 1
+    failure = res.failures[0]
+    assert failure.shard == 1
+    assert failure.kind == "crash"
+    assert failure.exitcode == 17
+    assert failure.cohorts  # it lost everything it was assigned
+    # the surviving shard's cohorts merged normally
+    assert res.cohorts and res.snapshot is not None
+    survivor_cohorts = {c.cohort for c in res.cohorts}
+    assert survivor_cohorts.isdisjoint(set(failure.cohorts))
+    # survivors + lost cohorts together cover the whole partition
+    assert sorted(survivor_cohorts | set(failure.cohorts)) == \
+        list(range(4))
+    # summary + to_dict carry the failure
+    assert "FAILED shard 1" in res.summary()
+    assert res.to_dict()["failures"][0]["kind"] == "crash"
+
+
+# ----------------------------------------------------------------------
+# arrival generators (the autoscaling study's inputs)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fn", [diurnal_arrivals, bursty_arrivals])
+def test_arrival_generators_sorted_deterministic(fn):
+    a = fn(50, seed=3)
+    b = fn(50, seed=3)
+    assert a == b
+    assert len(a) == 50
+    assert list(a) == sorted(a)
+    assert all(t > 0 for t in a)
+    assert fn(50, seed=4) != a
+
+
+def test_profile_arrivals_dispatch():
+    cfg = fleet_config(n_queries=30).workload
+    assert profile_arrivals("poisson", cfg) == \
+        profile_arrivals("poisson", cfg)
+    for profile in ("diurnal", "bursty"):
+        trace = profile_arrivals(profile, cfg)
+        assert len(trace) == 30
+        assert list(trace) == sorted(trace)
+    with pytest.raises(ValueError):
+        profile_arrivals("lunar", cfg)
+
+
+def test_arrival_generators_reject_bad_args():
+    with pytest.raises(ValueError):
+        diurnal_arrivals(0, seed=1)
+    with pytest.raises(ValueError):
+        diurnal_arrivals(5, seed=1, base_qps=4.0, peak_qps=1.0)
+    with pytest.raises(ValueError):
+        bursty_arrivals(5, seed=1, burst_size=0)
